@@ -1,0 +1,68 @@
+"""Ablation: detector design (paper §2.2 conservatism vs §5 future work).
+
+Sweeps the write-repeat saturation threshold (1-bit aggressive vs 2-bit
+paper default vs 3-bit conservative) and compares the paper's simple
+single-writer detector against the §5 multi-writer extension, on the two
+applications that stress detection the most:
+
+* CG — heavy false sharing: the simple detector correctly refuses those
+  lines; the multi-writer detector takes the bait and pays churn;
+* Barnes — many stable producer-consumer lines: everything should detect.
+"""
+
+from repro.analysis import render_table
+from repro.common import large
+from repro.harness import run_app
+from repro.common import params
+
+from conftest import run_once
+
+APPS = ("cg", "barnes")
+
+
+def sweep(scale):
+    variants = {
+        "aggressive (1-bit)": large().with_protocol(write_repeat_bits=1),
+        "paper (2-bit)": large(),
+        "conservative (3-bit)": large().with_protocol(write_repeat_bits=3),
+        "multiwriter": large().with_protocol(detector_kind="multiwriter"),
+    }
+    out = {}
+    for app in APPS:
+        base = run_app(app, params.baseline(), scale=scale).metrics
+        rows = {}
+        for name, config in variants.items():
+            m = run_app(app, config, scale=scale).metrics
+            rows[name] = {
+                "speedup": base.cycles / m.cycles,
+                "delegations": m.delegations,
+                "undelegations": m.undelegations,
+                "wasted": m.updates_wasted,
+                "accuracy": m.update_accuracy,
+            }
+        out[app] = rows
+    return out
+
+
+def test_detector_ablation(benchmark, bench_scale):
+    out = run_once(benchmark, sweep, bench_scale)
+    for app, rows in out.items():
+        table = [[name, r["speedup"], r["delegations"], r["undelegations"],
+                  r["wasted"], "%.0f%%" % (100 * r["accuracy"])]
+                 for name, r in rows.items()]
+        print()
+        print(render_table(
+            ["detector", "speedup", "delegations", "undelegations",
+             "wasted updates", "update accuracy"],
+            table, title="Detector ablation: %s" % app))
+    # The paper's 2-bit default trails the 1-bit aggressive variant a
+    # little here: our generators emit perfectly stable patterns from the
+    # first iteration, so earlier detection is pure upside — the startup
+    # noise the paper's conservatism guards against does not exist in a
+    # synthetic trace.  The default must still be close to the best and
+    # strictly ahead of the over-conservative 3-bit variant.
+    for app, rows in out.items():
+        best = max(r["speedup"] for r in rows.values())
+        assert rows["paper (2-bit)"]["speedup"] >= best - 0.08, app
+        assert (rows["paper (2-bit)"]["speedup"]
+                >= rows["conservative (3-bit)"]["speedup"] - 0.01), app

@@ -1,0 +1,26 @@
+"""Figure 10: sensitivity to network hop latency (Appbt).
+
+Baseline and enhanced (32-entry deledc + 32 KB RAC) execution time as hop
+latency sweeps 25..200 ns.  Paper: execution time nearly doubles with each
+doubling of hop latency, and the speedup of the mechanisms grows gradually
+(24% -> 28%) as remote misses get more expensive.
+"""
+
+from repro.harness import experiments
+
+from conftest import run_once
+
+
+def test_figure10(benchmark, bench_scale):
+    out = run_once(benchmark, experiments.figure10, scale=bench_scale)
+    print()
+    print(out["text"])
+    points = out["measured"]
+    # Execution time rises monotonically with hop latency.
+    base_cycles = [p["base_cycles"] for p in points]
+    assert base_cycles == sorted(base_cycles)
+    # The mechanisms' value grows (or at least does not shrink) with
+    # latency: compare the endpoints.
+    assert points[-1]["speedup"] >= points[0]["speedup"]
+    # And every point shows a real speedup.
+    assert all(p["speedup"] > 1.0 for p in points)

@@ -1,0 +1,27 @@
+"""Figure 11: sensitivity to delegate cache size (MG).
+
+MG has more live producer-consumer lines than a 32-entry delegate cache
+holds; speedup grows with the table size, and the 1K-entry + 1M-RAC point
+caps the sweep.  Network messages drop as thrash-undelegations disappear.
+"""
+
+from repro.harness import experiments
+
+from conftest import run_once
+
+
+def test_figure11(benchmark, bench_scale):
+    out = run_once(benchmark, experiments.figure11, scale=bench_scale)
+    print()
+    print(out["text"])
+    points = out["measured"]
+    by_entries = {(p["entries"], p["rac"]): p for p in points}
+    # Growing the delegate cache helps MG substantially.
+    assert (by_entries[(1024, "32K")]["speedup"]
+            > by_entries[(32, "32K")]["speedup"] + 0.03)
+    # The trend is broadly monotonic across the sweep.
+    sweep = [p["speedup"] for p in points if p["rac"] == "32K"]
+    assert sweep[-1] > sweep[0]
+    # Traffic shrinks as capacity-undelegation churn disappears.
+    assert (by_entries[(1024, "32K")]["messages"]
+            <= by_entries[(32, "32K")]["messages"] + 0.02)

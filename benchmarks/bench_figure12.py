@@ -1,0 +1,24 @@
+"""Figure 12: sensitivity to RAC size (Appbt).
+
+Appbt's per-consumer update volume exceeds a 32 KB RAC, so pushed data is
+evicted before it is read; growing the RAC recovers nearly the whole
+benefit even with 32-entry delegate tables (paper: 8% -> ~24%).
+"""
+
+from repro.harness import experiments
+
+from conftest import run_once
+
+
+def test_figure12(benchmark, bench_scale):
+    out = run_once(benchmark, experiments.figure12, scale=bench_scale)
+    print()
+    print(out["text"])
+    points = out["measured"]
+    by_rac = {(p["rac_kb"], p["entries"]): p for p in points}
+    # Growing the RAC alone (32-entry tables) recovers most of the win.
+    assert (by_rac[(1024, 32)]["speedup"]
+            > by_rac[(32, 32)]["speedup"] + 0.05)
+    # The sweep trends upward.
+    sweep = [p["speedup"] for p in points if p["entries"] == 32]
+    assert sweep[-1] > sweep[0]

@@ -1,0 +1,41 @@
+"""Figure 7: speedup, network messages and remote misses for all seven
+applications on the six evaluated system configurations.
+
+This is the paper's main result.  Shape expectations asserted:
+
+* Em3D and LU gain the most, CG the least (~6%);
+* MG is delegate-cache-limited (small config well below large);
+* Appbt is RAC-limited (small config well below large);
+* speedups land within a loose band of the paper's per-app numbers.
+"""
+
+from repro.harness import experiments
+
+from conftest import run_once
+
+
+def test_figure7(benchmark, bench_scale):
+    out = run_once(benchmark, experiments.figure7, scale=bench_scale)
+    print()
+    print(out["text"])
+    print("\nPaper speedups (small / large):")
+    for app, row in out["paper"].items():
+        measured = out["speedup"][app]
+        print("  %-7s paper %.2f/%.2f  measured %.3f/%.3f" % (
+            app, row["small"], row["large"],
+            measured["dele32_rac32k"], measured["dele1k_rac1m"]))
+
+    sp = {app: out["speedup"][app] for app in out["speedup"]}
+    small, large = "dele32_rac32k", "dele1k_rac1m"
+    # Ordering: biggest winners and the smallest winner.
+    assert sp["cg"][large] == min(row[large] for row in sp.values())
+    assert sp["em3d"][large] >= 1.2
+    assert sp["lu"][large] >= 1.2
+    # Capacity stories.
+    assert sp["mg"][large] > sp["mg"][small]
+    assert sp["appbt"][large] > sp["appbt"][small]
+    # Every app benefits (or at worst is a wash) from the large config.
+    assert all(row[large] > 0.97 for row in sp.values())
+    # Remote misses and traffic drop for the communication-bound apps.
+    assert out["misses"]["em3d"][large] < 0.8
+    assert out["messages"]["em3d"][large] < 0.9

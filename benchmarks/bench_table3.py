@@ -1,0 +1,24 @@
+"""Table 3: number of consumers in producer-consumer sharing patterns.
+
+Regenerates the consumer-count distribution each application's detector
+observes on the baseline system and prints it beside the paper's row.
+"""
+
+from repro.harness import experiments
+
+from conftest import run_once
+
+
+def test_table3(benchmark, bench_scale):
+    out = run_once(benchmark, experiments.table3, scale=bench_scale)
+    print()
+    print(out["text"])
+    print("\nPaper values for comparison:")
+    for app, row in out["paper"].items():
+        print("  %-7s %s" % (app, row))
+    # Shape assertions: the dominant bucket matches the paper per app.
+    dominant = {app: max(row, key=row.get)
+                for app, row in out["paper"].items()}
+    for app, bucket in dominant.items():
+        measured = out["measured"][app]
+        assert max(measured, key=measured.get) == bucket, app

@@ -1,0 +1,27 @@
+"""Benchmark-suite configuration.
+
+Each bench regenerates one paper table/figure at full workload scale and
+prints the regenerated rows next to the paper's values.  Set
+``REPRO_BENCH_SCALE`` (e.g. ``0.5``) to shrink workloads for a faster,
+directional pass.
+"""
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    Experiments are long deterministic simulations; repeating them only to
+    tighten timing statistics would multiply a multi-minute suite, so every
+    bench uses a single round.
+    """
+    return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

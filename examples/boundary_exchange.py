@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Stencil boundary exchange: the Ocean/LU scenario from the paper's intro.
+
+Each of 16 simulated processors owns a partition of a grid and exchanges
+boundary rows with its ring neighbour every iteration — single-producer /
+single-consumer sharing with first-touch placement (home == producer).
+
+Delegation is useless here (the producer already *is* the home), which is
+exactly why the paper's delegation-only ablation is a wash; the win comes
+entirely from speculative updates turning the neighbour's 2-hop boundary
+reads into local RAC hits.  The example sweeps the intervention delay to
+show Figure 9's effect on a workload you can read in one screen.
+"""
+
+from repro import System, small, baseline, synthetic
+from repro.analysis import render_table
+
+
+def run(config, label):
+    build = synthetic(
+        name="boundary",
+        iterations=12,
+        lines_per_producer=8,   # boundary rows per partition
+        consumers=1,            # the downstream neighbour
+        neighbor_consumers=True,
+        home_random_prob=0.0,   # first-touch: home == producer
+        compute=1500,           # local stencil work per phase
+    ).build()
+    system = System(config)
+    result = system.run(build.per_cpu_ops, placements=build.placements)
+    m = result.stats
+    return {
+        "label": label,
+        "cycles": result.cycles,
+        "remote": m.get("miss.remote_2hop", 0) + m.get("miss.remote_3hop", 0),
+        "local": m.get("miss.local", 0),
+        "updates": m.get("update.sent", 0),
+        "rac_hits": m.get("hit.rac_update", 0),
+        "delegations": m.get("dele.delegate", 0),
+    }
+
+
+def main():
+    rows = []
+    base = run(baseline(), "baseline")
+    rows.append(base)
+    for delay in (5, 50, 500, 50_000):
+        cfg = small().with_protocol(intervention_delay=delay)
+        rows.append(run(cfg, "updates, delay=%d" % delay))
+
+    table = []
+    for row in rows:
+        table.append([
+            row["label"], row["cycles"],
+            "%.3f" % (base["cycles"] / row["cycles"]),
+            row["remote"], row["rac_hits"], row["delegations"],
+        ])
+    print(render_table(
+        ["system", "cycles", "speedup", "remote misses",
+         "RAC update hits", "delegations"],
+        table, title="Boundary exchange (home == producer)"))
+    print("\nNote: zero delegations in every configuration — the paper's"
+          "\nupdate mechanism carries this workload entirely by itself.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Two sharing patterns, one adaptive protocol: why detection matters.
+
+The paper's mechanisms target *producer-consumer* sharing; its related
+work (Cox/Fowler, Stenström et al.) targets *migratory* sharing.  This
+example runs both patterns through the enhanced system and shows the
+detector doing its job: producer-consumer lines get delegated and
+updated, migratory lines are left strictly alone — delegating data that
+migrates with every writer would ping-pong the directory for nothing.
+"""
+
+from repro import System, baseline, small, synthetic
+from repro.analysis import bar_chart
+from repro.workloads import migratory
+
+
+def run(config, build):
+    system = System(config)
+    result = system.run(build.per_cpu_ops, placements=build.placements)
+    return result
+
+
+def measure(name, workload):
+    build = workload.build()
+    base = run(baseline(), build)
+    build = workload.build()
+    enh = run(small(), build)
+    return {
+        "name": name,
+        "speedup": base.cycles / enh.cycles,
+        "marked": enh.stats.get("detector.marked", 0),
+        "delegations": enh.stats.get("dele.delegate", 0),
+        "updates": enh.stats.get("update.sent", 0),
+    }
+
+
+def main():
+    results = [
+        measure("producer-consumer",
+                synthetic(iterations=10, lines_per_producer=6, consumers=2,
+                          home_random_prob=0.7, compute=500)),
+        measure("migratory",
+                migratory(lines=8, iterations=10, compute=500)),
+    ]
+    for row in results:
+        print("%-18s speedup %.3f  marked %d  delegations %d  updates %d"
+              % (row["name"], row["speedup"], row["marked"],
+                 row["delegations"], row["updates"]))
+    print()
+    print(bar_chart([(r["name"], r["speedup"]) for r in results],
+                    title="speedup from the paper's mechanisms", vmax=1.6))
+    print("\nThe migratory bar sits at 1.0: the conservative detector "
+          "(writes from\ndifferent nodes reset it) never hands migratory "
+          "lines to the delegation\nand update machinery.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Model-check the coherence protocol, as the paper does in §2.5.
+
+Runs exhaustive reachability analysis over the protocol model at several
+feature levels, checking the safety invariants in every reachable state:
+"single writer exists", directory consistency, value coherence, and
+delegation well-formedness — plus deadlock detection.
+
+Also demonstrates the *negative* result baked into the model: with the
+network's per-channel FIFO guarantee removed, the checker produces a
+counterexample where a stale speculative UPDATE overtakes an INV and
+resurrects dead data.
+"""
+
+import time
+
+from repro.common.errors import DeadlockError, InvariantViolation
+from repro.mc import ALL_INVARIANTS, ModelChecker, ProtocolModel
+
+
+def verify(title, **model_kwargs):
+    model = ProtocolModel(**model_kwargs)
+    checker = ModelChecker(model.initial_states(), model.rules(),
+                           ALL_INVARIANTS, quiescent=model.quiescent,
+                           track_traces=False,
+                           canonicalize=model.canonical)
+    start = time.time()
+    result = checker.run()
+    print("%-42s PASS  %6d states  %7d transitions  %.2fs"
+          % (title, result.states_explored, result.transitions,
+             time.time() - start))
+
+
+def main():
+    print("Exhaustive verification (every reachable state checked):\n")
+    verify("base write-invalidate protocol",
+           num_nodes=3, writers=(1,), readers=(2,), enable_delegation=False)
+    verify("  + directory delegation",
+           num_nodes=3, writers=(1,), readers=(2,), enable_updates=False)
+    verify("  + speculative updates (full mechanism)",
+           num_nodes=3, writers=(1,), readers=(2,))
+    verify("full mechanism, two consumers",
+           num_nodes=4, writers=(1,), readers=(2, 3))
+    verify("full mechanism, competing writers",
+           num_nodes=3, writers=(1, 2), readers=(2,))
+
+    print("\nNegative control: remove the fabric's per-channel FIFO "
+          "ordering...")
+    model = ProtocolModel(num_nodes=3, writers=(1,), readers=(2,),
+                          ordered_channels=False)
+    checker = ModelChecker(model.initial_states(), model.rules(),
+                           ALL_INVARIANTS, quiescent=model.quiescent,
+                           canonicalize=model.canonical)
+    try:
+        checker.run()
+        print("unexpectedly verified!")
+    except (InvariantViolation, DeadlockError) as err:
+        print("counterexample found (%s), trace:"
+              % getattr(err, "invariant_name", "deadlock"))
+        for step in err.trace:
+            print("   ", step)
+        print("\nThe protocol relies on per-channel ordering: a stale "
+              "UPDATE must not\novertake a later INV from the same "
+              "producer.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""repro — reproduction of "An Adaptive Cache Coherence Protocol Optimized
+for Producer-Consumer Sharing" (Cheng, Carter, Dai — HPCA 2007).
+
+The package provides:
+
+* a message-level cc-NUMA coherence simulator (directory write-invalidate
+  base protocol + the paper's detector, directory delegation and
+  speculative-update mechanisms) — :mod:`repro.sim`, :mod:`repro.protocol`;
+* synthetic workload generators matching the paper's seven applications'
+  sharing signatures — :mod:`repro.workloads`;
+* an explicit-state model checker and protocol model — :mod:`repro.mc`;
+* analysis and the per-table/figure experiment harness —
+  :mod:`repro.analysis`, :mod:`repro.harness`.
+
+Quickstart::
+
+    from repro import run_app, baseline, small
+
+    base = run_app("em3d", baseline())
+    enh = run_app("em3d", small())
+    print("speedup:", base.metrics.cycles / enh.metrics.cycles)
+"""
+
+from .common import (
+    EVALUATED_SYSTEMS,
+    CacheConfig,
+    ProtocolConfig,
+    SystemConfig,
+    baseline,
+    delegation_only,
+    enhanced,
+    large,
+    rac_only,
+    small,
+)
+from .harness import experiments, run_app, run_matrix
+from .sim import Barrier, Compute, Read, RunResult, System, Write
+from .workloads import application_names, get_workload, synthetic
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EVALUATED_SYSTEMS",
+    "CacheConfig",
+    "ProtocolConfig",
+    "SystemConfig",
+    "baseline",
+    "delegation_only",
+    "enhanced",
+    "large",
+    "rac_only",
+    "small",
+    "experiments",
+    "run_app",
+    "run_matrix",
+    "Barrier",
+    "Compute",
+    "Read",
+    "RunResult",
+    "System",
+    "Write",
+    "application_names",
+    "get_workload",
+    "synthetic",
+    "__version__",
+]

@@ -1,0 +1,63 @@
+"""Cross-run comparison: the normalisations Figure 7 and the headline use.
+
+All paper results are reported relative to the baseline system: speedup =
+T_base / T_enhanced, and network messages / remote misses normalised to the
+baseline's count.  Means follow the paper's §3.2 convention: geometric for
+speedups, arithmetic for traffic and remote-miss reductions.
+"""
+
+import math
+
+
+def speedup(base_metrics, enhanced_metrics):
+    """Execution-time speedup of enhanced over base (>1 means faster)."""
+    return base_metrics.cycles / enhanced_metrics.cycles
+
+
+def normalized_messages(base_metrics, enhanced_metrics):
+    """Network messages relative to baseline (<1 means less traffic)."""
+    if not base_metrics.messages:
+        return 1.0
+    return enhanced_metrics.messages / base_metrics.messages
+
+
+def normalized_remote_misses(base_metrics, enhanced_metrics):
+    """Remote misses relative to baseline (<1 means fewer)."""
+    if not base_metrics.remote_misses:
+        return 1.0
+    return enhanced_metrics.remote_misses / base_metrics.remote_misses
+
+
+def geometric_mean(values):
+    values = list(values)
+    if not values:
+        raise ValueError("geometric mean of no values")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean needs positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def arithmetic_mean(values):
+    values = list(values)
+    if not values:
+        raise ValueError("arithmetic mean of no values")
+    return sum(values) / len(values)
+
+
+def headline(per_app_base, per_app_enhanced):
+    """The paper's summary triple over a set of applications.
+
+    Returns ``(geomean speedup, mean traffic reduction, mean remote-miss
+    reduction)`` with reductions expressed as fractions (0.15 = 15% less).
+    """
+    apps = sorted(per_app_base)
+    if sorted(per_app_enhanced) != apps:
+        raise ValueError("application sets differ between configurations")
+    speedups = [speedup(per_app_base[a], per_app_enhanced[a]) for a in apps]
+    traffic = [normalized_messages(per_app_base[a], per_app_enhanced[a])
+               for a in apps]
+    misses = [normalized_remote_misses(per_app_base[a], per_app_enhanced[a])
+              for a in apps]
+    return (geometric_mean(speedups),
+            1.0 - arithmetic_mean(traffic),
+            1.0 - arithmetic_mean(misses))

@@ -1,0 +1,72 @@
+"""Derived metrics over one simulation's raw counters."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RunMetrics:
+    """The evaluation-facing view of one run (one app on one system)."""
+
+    cycles: int
+    local_misses: int
+    remote_2hop: int
+    remote_3hop: int
+    messages: int
+    bytes: int
+    nacks: int
+    updates_sent: int
+    updates_consumed: int
+    updates_wasted: int
+    delegations: int
+    undelegations: int
+    rac_update_hits: int
+
+    @property
+    def remote_misses(self):
+        return self.remote_2hop + self.remote_3hop
+
+    @property
+    def total_misses(self):
+        return self.local_misses + self.remote_misses
+
+    @property
+    def update_accuracy(self):
+        """Fraction of pushed updates that were actually consumed."""
+        if not self.updates_sent:
+            return 0.0
+        return self.updates_consumed / self.updates_sent
+
+
+def metrics_from_result(result):
+    """Extract :class:`RunMetrics` from a :class:`repro.sim.RunResult`."""
+    stats = result.stats
+
+    def total(prefix):
+        return sum(v for k, v in stats.items() if k.startswith(prefix))
+
+    return RunMetrics(
+        cycles=result.cycles,
+        local_misses=stats.get("miss.local", 0),
+        remote_2hop=stats.get("miss.remote_2hop", 0),
+        remote_3hop=stats.get("miss.remote_3hop", 0),
+        messages=total("msg.sent."),
+        bytes=stats.get("msg.bytes", 0),
+        nacks=stats.get("protocol.nack", 0),
+        updates_sent=stats.get("update.sent", 0),
+        updates_consumed=stats.get("update.consumed", 0),
+        updates_wasted=stats.get("update.wasted", 0),
+        delegations=stats.get("dele.delegate", 0),
+        undelegations=total("dele.undelegate."),
+        rac_update_hits=stats.get("hit.rac_update", 0),
+    )
+
+
+def consumer_histogram(result):
+    """Table 3 data: consumer-count bucket -> share (%) of PC patterns."""
+    buckets = ("1", "2", "3", "4", "4+")
+    counts = {b: result.stats.get("detector.consumers.%s" % b, 0)
+              for b in buckets}
+    total = sum(counts.values())
+    if not total:
+        return {b: 0.0 for b in buckets}
+    return {b: 100.0 * counts[b] / total for b in buckets}

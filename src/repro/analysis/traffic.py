@@ -1,0 +1,87 @@
+"""Traffic decomposition: where the bytes and messages go.
+
+The evaluation's top-line "network messages" number hides the interesting
+structure: how much is demand traffic (requests + data replies), how much
+is coherence overhead (invalidations, interventions, acks), how much is
+speculation (updates), and how much is flow-control noise (NACKs/retries).
+This module classifies per-type message counters into those groups — the
+breakdown behind statements like "NACK messages caused by this reload
+flurry phenomenon represent a nontrivial percentage of network traffic".
+"""
+
+from dataclasses import dataclass
+
+from ..network.message import MsgType
+
+#: Message-type label -> traffic class.
+CLASSES = {
+    "GETS": "demand", "GETX": "demand",
+    "DATA_SHARED": "demand", "DATA_EXCL": "demand", "ACK_X": "demand",
+    "SHARED_RESP": "demand", "EXCL_RESP": "demand",
+    "INV": "coherence", "INV_ACK": "coherence",
+    "INTERVENTION": "coherence", "SHARED_WB": "coherence",
+    "XFER_OWNER": "coherence",
+    "WRITEBACK": "writeback", "EVICT_CLEAN": "writeback",
+    "WB_ACK": "writeback",
+    "NACK": "flow_control", "NACK_NOT_HOME": "flow_control",
+    "DELEGATE": "delegation", "UNDELE": "delegation",
+    "UNDELE_REQ": "delegation", "HOME_CHANGED": "delegation",
+    "UPDATE": "speculation", "UPDATE_ACK": "speculation",
+}
+
+TRAFFIC_CLASSES = ("demand", "coherence", "writeback", "flow_control",
+                   "delegation", "speculation")
+
+
+@dataclass(frozen=True)
+class TrafficBreakdown:
+    """Message and byte totals per traffic class."""
+
+    messages: dict
+    bytes: dict
+
+    @property
+    def total_messages(self):
+        return sum(self.messages.values())
+
+    @property
+    def total_bytes(self):
+        return sum(self.bytes.values())
+
+    def share(self, traffic_class):
+        """Fraction of all messages in the given class."""
+        total = self.total_messages
+        if not total:
+            return 0.0
+        return self.messages.get(traffic_class, 0) / total
+
+
+def breakdown(stats, header_bytes=32, line_size=128):
+    """Classify a run's ``msg.sent.*`` counters into a TrafficBreakdown.
+
+    ``stats`` is the flat counter dict of a :class:`repro.sim.RunResult`.
+    """
+    messages = {cls: 0 for cls in TRAFFIC_CLASSES}
+    byte_totals = {cls: 0 for cls in TRAFFIC_CLASSES}
+    sizes = {m.label: header_bytes + (line_size if m.data_bearing else 0)
+             for m in MsgType}
+    for key, count in stats.items():
+        if not key.startswith("msg.sent."):
+            continue
+        label = key[len("msg.sent."):]
+        cls = CLASSES.get(label)
+        if cls is None:
+            raise KeyError("message type %r has no traffic class" % label)
+        messages[cls] += count
+        byte_totals[cls] += count * sizes[label]
+    return TrafficBreakdown(messages=messages, bytes=byte_totals)
+
+
+def compare_breakdowns(base, enhanced):
+    """Per-class delta (enhanced minus base), in messages.
+
+    Negative values are traffic the mechanisms removed; positive values
+    (typically the ``speculation`` class) are traffic they added.
+    """
+    return {cls: enhanced.messages.get(cls, 0) - base.messages.get(cls, 0)
+            for cls in TRAFFIC_CLASSES}

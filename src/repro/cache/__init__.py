@@ -1,0 +1,18 @@
+"""Cache structures: generic set-associative container, L1/L2 hierarchy, RAC."""
+
+from .hierarchy import AccessResult, EvictionNotice, PrivateCacheHierarchy
+from .line import CacheLine, LineState, RacKind
+from .rac import RemoteAccessCache
+from .sa_cache import CacheCapacityError, SetAssociativeCache
+
+__all__ = [
+    "AccessResult",
+    "EvictionNotice",
+    "PrivateCacheHierarchy",
+    "CacheLine",
+    "LineState",
+    "RacKind",
+    "RemoteAccessCache",
+    "CacheCapacityError",
+    "SetAssociativeCache",
+]

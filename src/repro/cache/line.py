@@ -1,0 +1,70 @@
+"""Cache line states and the line record stored in every cache structure.
+
+The coherence protocol uses MESI states in the private (L2) caches.  The RAC
+reuses the same record type but additionally distinguishes *why* a line is
+present (victim / pushed update / delegated surrogate memory) and whether a
+pushed update has been consumed yet — that last bit is what lets the
+evaluation report useful vs. wasted speculative updates.
+"""
+
+import enum
+from dataclasses import dataclass, field
+
+
+class LineState(enum.Enum):
+    """MESI coherence state of a cached line."""
+
+    INVALID = "I"
+    SHARED = "S"
+    EXCLUSIVE = "E"
+    MODIFIED = "M"
+
+    @property
+    def readable(self):
+        return self is not LineState.INVALID
+
+    @property
+    def writable(self):
+        return self in (LineState.EXCLUSIVE, LineState.MODIFIED)
+
+    @property
+    def dirty(self):
+        return self is LineState.MODIFIED
+
+
+class RacKind(enum.Enum):
+    """Why a line lives in the remote access cache (paper §2.1)."""
+
+    VICTIM = "victim"        # evicted remote data, classic RAC role
+    UPDATE = "update"        # speculatively pushed by a producer (§2.4)
+    DELEGATED = "delegated"  # pinned surrogate main memory for a delegated line
+
+
+@dataclass
+class CacheLine:
+    """One line's worth of cache bookkeeping.
+
+    ``value`` is the data payload, modelled as an integer version so the
+    online coherence checker can verify that every read returns the value of
+    the most recent write.  ``pinned`` lines are never chosen as eviction
+    victims (used by the RAC for delegated surrogate-memory entries).
+    """
+
+    addr: int
+    state: LineState = LineState.INVALID
+    value: int = 0
+    pinned: bool = False
+    kind: RacKind = RacKind.VICTIM
+    consumed: bool = False
+    dirty: bool = False
+    last_use: int = 0
+    meta: dict = field(default_factory=dict)
+
+    def __repr__(self):
+        flags = "".join(
+            flag
+            for flag, on in (("P", self.pinned), ("D", self.dirty), ("C", self.consumed))
+            if on
+        )
+        return "CacheLine(0x%x %s v%d %s)" % (
+            self.addr, self.state.value, self.value, flags)

@@ -1,0 +1,152 @@
+"""A generic set-associative cache container.
+
+Used for the L1, L2, RAC and directory cache alike: the container manages
+geometry (set indexing), residency, LRU or random replacement, and pinning;
+what the entries *mean* is up to the owning component.
+
+Addresses handed to this class must be line-aligned (callers align with
+``SystemConfig.line_of``); alignment is asserted to catch misuse early.
+"""
+
+from ..common.errors import ConfigError, ReproError
+from .line import CacheLine, LineState
+
+
+class CacheCapacityError(ReproError):
+    """An insert found every way of the target set pinned."""
+
+
+class SetAssociativeCache:
+    """Set-associative storage of :class:`CacheLine` records.
+
+    Parameters
+    ----------
+    config:
+        A :class:`repro.common.params.CacheConfig` giving geometry, latency
+        and replacement policy.
+    rng:
+        Random stream used only when ``config.replacement == "random"``.
+    name:
+        Human-readable label used in error messages.
+    """
+
+    def __init__(self, config, rng=None, name="cache"):
+        if config.replacement == "random" and rng is None:
+            raise ConfigError("%s uses random replacement but got no rng" % name)
+        self.config = config
+        self.name = name
+        self._rng = rng
+        self._line_size = config.line_size
+        self._num_sets = config.num_sets
+        self._assoc = config.assoc
+        # One dict per set, addr -> CacheLine.  Dicts keep insertion order,
+        # which combined with last_use gives deterministic LRU victims.
+        self._sets = [dict() for _ in range(self._num_sets)]
+        self._clock = 0
+
+    # -- geometry ---------------------------------------------------------
+
+    def set_index(self, addr):
+        """Which set a (line-aligned) address maps to."""
+        self._check_aligned(addr)
+        return (addr // self._line_size) % self._num_sets
+
+    def _check_aligned(self, addr):
+        if addr % self._line_size:
+            raise ReproError(
+                "%s: address 0x%x is not %d-byte line aligned"
+                % (self.name, addr, self._line_size)
+            )
+
+    # -- residency --------------------------------------------------------
+
+    def probe(self, addr):
+        """Return the resident line for ``addr`` or None.  No LRU update."""
+        return self._sets[self.set_index(addr)].get(addr)
+
+    def access(self, addr):
+        """Return the resident line and mark it most recently used."""
+        line = self.probe(addr)
+        if line is not None:
+            self._clock += 1
+            line.last_use = self._clock
+        return line
+
+    def __contains__(self, addr):
+        return self.probe(addr) is not None
+
+    def __len__(self):
+        return sum(len(s) for s in self._sets)
+
+    def lines(self):
+        """Iterate over all resident lines (set order, then insertion order)."""
+        for cache_set in self._sets:
+            yield from cache_set.values()
+
+    # -- replacement --------------------------------------------------------
+
+    def has_room(self, addr):
+        """True if ``addr`` could be inserted without raising (hit, free way,
+        or at least one unpinned victim in its set)."""
+        cache_set = self._sets[self.set_index(addr)]
+        if addr in cache_set or len(cache_set) < self._assoc:
+            return True
+        return any(not line.pinned for line in cache_set.values())
+
+    def victim_for(self, addr):
+        """The line that would be evicted to make room for ``addr``.
+
+        Returns None when no eviction is needed (hit or free way) and raises
+        :class:`CacheCapacityError` when every way is pinned.
+        """
+        cache_set = self._sets[self.set_index(addr)]
+        if addr in cache_set or len(cache_set) < self._assoc:
+            return None
+        candidates = [line for line in cache_set.values() if not line.pinned]
+        if not candidates:
+            raise CacheCapacityError(
+                "%s: set %d is full of pinned lines" % (self.name, self.set_index(addr))
+            )
+        if self.config.replacement == "random":
+            return self._rng.choice(candidates)
+        return min(candidates, key=lambda line: line.last_use)
+
+    def insert(self, addr, state=LineState.SHARED, value=0, pinned=False,
+               kind=None, dirty=False):
+        """Install (or overwrite) a line; returns the evicted line or None.
+
+        If ``addr`` is already resident its record is updated in place (and
+        returned eviction is None).  Raises :class:`CacheCapacityError` when
+        the set has no unpinned victim.
+        """
+        cache_set = self._sets[self.set_index(addr)]
+        self._clock += 1
+        existing = cache_set.get(addr)
+        if existing is not None:
+            existing.state = state
+            existing.value = value
+            existing.pinned = pinned
+            existing.dirty = dirty
+            if kind is not None:
+                existing.kind = kind
+            existing.last_use = self._clock
+            return None
+        evicted = None
+        if len(cache_set) >= self._assoc:
+            evicted = self.victim_for(addr)
+            del cache_set[evicted.addr]
+        line = CacheLine(addr=addr, state=state, value=value, pinned=pinned,
+                         dirty=dirty, last_use=self._clock)
+        if kind is not None:
+            line.kind = kind
+        cache_set[addr] = line
+        return evicted
+
+    def invalidate(self, addr):
+        """Remove ``addr`` from the cache; returns the removed line or None."""
+        cache_set = self._sets[self.set_index(addr)]
+        return cache_set.pop(addr, None)
+
+    def clear(self):
+        for cache_set in self._sets:
+            cache_set.clear()

@@ -1,0 +1,194 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list``
+    Show the available applications and system presets.
+``run APP``
+    Run one application on one (or every) system preset and print the
+    evaluation metrics.
+``experiment NAME``
+    Regenerate one paper artefact (table3, figure7..figure12, headline,
+    delegation-only) and print it.
+``verify``
+    Exhaustively model-check the protocol (paper §2.5).
+``area``
+    Print the §3.3.1 SRAM budget of a configuration.
+"""
+
+import argparse
+import sys
+import time
+
+from . import __version__
+from .analysis import render_table
+from .analysis.area import area_of
+from .common import params
+from .harness import experiments, run_app
+from .mc import ALL_INVARIANTS, ModelChecker, ProtocolModel
+from .workloads import application_names
+
+EXPERIMENTS = {
+    "table3": experiments.table3,
+    "figure7": experiments.figure7,
+    "figure8": experiments.figure8,
+    "figure9": experiments.figure9,
+    "figure10": experiments.figure10,
+    "figure11": experiments.figure11,
+    "figure12": experiments.figure12,
+    "headline": experiments.headline,
+    "delegation-only": experiments.delegation_only,
+}
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of the HPCA 2007 adaptive "
+                    "producer-consumer coherence protocol.")
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="show applications and system presets")
+
+    run_p = sub.add_parser("run", help="run one application")
+    run_p.add_argument("app", choices=application_names())
+    run_p.add_argument("--system", default="all",
+                       choices=["all"] + list(params.EVALUATED_SYSTEMS))
+    run_p.add_argument("--scale", type=float, default=1.0)
+    run_p.add_argument("--seed", type=int, default=12345)
+    run_p.add_argument("--no-check", action="store_true",
+                       help="disable online coherence checking (faster)")
+
+    exp_p = sub.add_parser("experiment", help="regenerate a paper artefact")
+    exp_p.add_argument("name", choices=sorted(EXPERIMENTS))
+    exp_p.add_argument("--scale", type=float, default=1.0)
+    exp_p.add_argument("--seed", type=int, default=12345)
+
+    verify_p = sub.add_parser("verify", help="model-check the protocol")
+    verify_p.add_argument("--nodes", type=int, default=3)
+    verify_p.add_argument("--no-delegation", action="store_true")
+    verify_p.add_argument("--no-updates", action="store_true")
+    verify_p.add_argument("--unordered", action="store_true",
+                          help="drop per-channel FIFO (expect a "
+                               "counterexample)")
+    verify_p.add_argument("--max-states", type=int, default=4_000_000)
+
+    area_p = sub.add_parser("area", help="print the SRAM budget (§3.3.1)")
+    area_p.add_argument("--system", default="dele32_rac32k",
+                        choices=list(params.EVALUATED_SYSTEMS))
+
+    report_p = sub.add_parser(
+        "report", help="run every experiment and write a Markdown report")
+    report_p.add_argument("--output", default="EXPERIMENTS.md")
+    report_p.add_argument("--scale", type=float, default=1.0)
+    report_p.add_argument("--seed", type=int, default=12345)
+    return parser
+
+
+def cmd_list(_args):
+    print("Applications (paper Table 2):")
+    for app in application_names():
+        print("   ", app)
+    print("\nSystem presets (paper Figure 7):")
+    for name in params.EVALUATED_SYSTEMS:
+        print("   ", name)
+    return 0
+
+
+def cmd_run(args):
+    systems = (params.EVALUATED_SYSTEMS if args.system == "all"
+               else {args.system: params.EVALUATED_SYSTEMS[args.system]})
+    rows = []
+    base_cycles = None
+    for name, factory in systems.items():
+        run = run_app(args.app, factory(), seed=args.seed, scale=args.scale,
+                      check_coherence=not args.no_check)
+        m = run.metrics
+        if base_cycles is None:
+            base_cycles = m.cycles
+        rows.append([name, m.cycles, "%.3f" % (base_cycles / m.cycles),
+                     m.remote_misses, m.messages, m.updates_sent])
+    print(render_table(
+        ["system", "cycles", "speedup", "remote misses", "messages",
+         "updates"],
+        rows, title="%s (scale %.2f)" % (args.app, args.scale)))
+    return 0
+
+
+def cmd_experiment(args):
+    out = EXPERIMENTS[args.name](scale=args.scale, seed=args.seed)
+    print(out["text"])
+    return 0
+
+
+def cmd_verify(args):
+    model = ProtocolModel(
+        num_nodes=args.nodes,
+        writers=(1,),
+        readers=tuple(range(2, args.nodes)),
+        enable_delegation=not args.no_delegation,
+        enable_updates=not (args.no_updates or args.no_delegation),
+        ordered_channels=not args.unordered,
+    )
+    checker = ModelChecker(model.initial_states(), model.rules(),
+                           ALL_INVARIANTS, quiescent=model.quiescent,
+                           max_states=args.max_states, track_traces=False,
+                           canonicalize=model.canonical)
+    start = time.time()
+    try:
+        result = checker.run()
+    except Exception as err:  # InvariantViolation / DeadlockError
+        print("VIOLATION: %s" % err)
+        trace = getattr(err, "trace", [])
+        for step in trace:
+            print("   ", step)
+        return 1
+    print("PASS: %d states, %d transitions, depth %d, %.2fs"
+          % (result.states_explored, result.transitions, result.max_depth,
+             time.time() - start))
+    return 0
+
+
+def cmd_area(args):
+    config = params.EVALUATED_SYSTEMS[args.system]()
+    budget = area_of(config)
+    rows = [
+        ["producer table", budget.producer_table_bytes],
+        ["consumer table", budget.consumer_table_bytes],
+        ["detector bits", budget.detector_bytes],
+        ["RAC", budget.rac_bytes],
+        ["total", budget.total_bytes],
+    ]
+    print(render_table(["component", "bytes"], rows,
+                       title="SRAM budget per node: %s (%.1f KB)"
+                       % (args.system, budget.total_kb)))
+    return 0
+
+
+def cmd_report(args):
+    from .analysis.report import full_report
+    text = full_report(scale=args.scale, seed=args.seed)
+    with open(args.output, "w") as fileobj:
+        fileobj.write(text)
+    print("wrote %s (%d bytes)" % (args.output, len(text)))
+    return 0
+
+
+COMMANDS = {
+    "list": cmd_list,
+    "run": cmd_run,
+    "experiment": cmd_experiment,
+    "verify": cmd_verify,
+    "area": cmd_area,
+    "report": cmd_report,
+}
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,51 @@
+"""Shared infrastructure: configuration, events, statistics, RNG, errors."""
+
+from .errors import (
+    CoherenceViolation,
+    ConfigError,
+    DeadlockError,
+    InvariantViolation,
+    ProtocolError,
+    ReproError,
+    SimulationError,
+)
+from .events import EventQueue
+from .params import (
+    EVALUATED_SYSTEMS,
+    CacheConfig,
+    DelegateCacheConfig,
+    NetworkConfig,
+    ProtocolConfig,
+    SystemConfig,
+    baseline,
+    delegation_only,
+    enhanced,
+    large,
+    rac_only,
+    small,
+)
+from .stats import Stats
+
+__all__ = [
+    "CoherenceViolation",
+    "ConfigError",
+    "DeadlockError",
+    "InvariantViolation",
+    "ProtocolError",
+    "ReproError",
+    "SimulationError",
+    "EventQueue",
+    "EVALUATED_SYSTEMS",
+    "CacheConfig",
+    "DelegateCacheConfig",
+    "NetworkConfig",
+    "ProtocolConfig",
+    "SystemConfig",
+    "baseline",
+    "delegation_only",
+    "enhanced",
+    "large",
+    "rac_only",
+    "small",
+    "Stats",
+]

@@ -1,0 +1,81 @@
+"""Discrete-event scheduling core.
+
+The whole simulator runs off one :class:`EventQueue`: hubs, processors, the
+network fabric and the barrier manager all schedule plain callbacks at
+absolute times (in CPU cycles).  Events scheduled for the same cycle fire in
+scheduling order (a monotonically increasing sequence number breaks ties),
+which keeps runs fully deterministic.
+"""
+
+import heapq
+
+
+class EventQueue:
+    """A deterministic discrete-event queue keyed by absolute cycle time."""
+
+    def __init__(self):
+        self._heap = []
+        self._seq = 0
+        self._now = 0
+        self._processed = 0
+
+    @property
+    def now(self):
+        """Current simulation time in CPU cycles."""
+        return self._now
+
+    @property
+    def pending(self):
+        """Number of events waiting to fire."""
+        return len(self._heap)
+
+    @property
+    def processed(self):
+        """Total number of events fired so far."""
+        return self._processed
+
+    def schedule(self, delay, callback, *args):
+        """Schedule ``callback(*args)`` to fire ``delay`` cycles from now.
+
+        ``delay`` must be non-negative; zero-delay events fire after all
+        events already scheduled for the current cycle.
+        """
+        if delay < 0:
+            raise ValueError("cannot schedule an event in the past (delay=%r)" % delay)
+        self.schedule_at(self._now + delay, callback, *args)
+
+    def schedule_at(self, time, callback, *args):
+        """Schedule ``callback(*args)`` at absolute cycle ``time``."""
+        if time < self._now:
+            raise ValueError(
+                "cannot schedule at %r, current time is %r" % (time, self._now)
+            )
+        heapq.heappush(self._heap, (time, self._seq, callback, args))
+        self._seq += 1
+
+    def step(self):
+        """Fire the single next event.  Returns False when the queue is empty."""
+        if not self._heap:
+            return False
+        time, _seq, callback, args = heapq.heappop(self._heap)
+        self._now = time
+        self._processed += 1
+        callback(*args)
+        return True
+
+    def run(self, max_events=None, max_cycles=None):
+        """Drain the queue.
+
+        Stops when the queue is empty, when ``max_events`` events have fired,
+        or when simulation time would exceed ``max_cycles``.  Returns the
+        number of events processed by this call.
+        """
+        fired = 0
+        while self._heap:
+            if max_events is not None and fired >= max_events:
+                break
+            if max_cycles is not None and self._heap[0][0] > max_cycles:
+                break
+            self.step()
+            fired += 1
+        return fired

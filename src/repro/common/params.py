@@ -1,0 +1,281 @@
+"""System configuration: the paper's Table 1 plus the six evaluated presets.
+
+All times are expressed in CPU cycles of the simulated 2 GHz processor
+(1 cycle = 0.5 ns), matching the units the paper reports: 100-cycle network
+hop, 200-cycle DRAM access, 50-cycle default intervention delay.
+
+The six system presets evaluated in Figure 7 are exposed as factory
+functions and collected in :data:`EVALUATED_SYSTEMS`:
+
+==============================  ==========================================
+``baseline``                    plain directory write-invalidate protocol
+``rac_only``                    + 32 KB remote access cache
+``small`` (32e deledc, 32K RAC) + delegation + speculative updates
+``large`` (1Ke deledc, 1M RAC)  the paper's "modest overhead" configuration
+``dele1k_rac32k``               large delegate cache, small RAC
+``dele32_rac1m``                small delegate cache, large RAC
+==============================  ==========================================
+"""
+
+from dataclasses import dataclass, field, replace
+
+from .errors import ConfigError
+
+#: Cache line size used throughout the coherence layer (paper: 128 B L2 lines).
+LINE_SIZE = 128
+
+#: Minimum network packet size (paper: 32-byte header-only packets).
+HEADER_BYTES = 32
+
+
+def _check_power_of_two(name, value):
+    if value <= 0 or value & (value - 1):
+        raise ConfigError("%s must be a positive power of two, got %r" % (name, value))
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """A set-associative cache (used for L1, L2, RAC and directory cache)."""
+
+    size_bytes: int
+    assoc: int
+    line_size: int = LINE_SIZE
+    latency: int = 10  # access latency in CPU cycles
+    replacement: str = "lru"  # "lru" or "random"
+
+    def __post_init__(self):
+        _check_power_of_two("line size", self.line_size)
+        if self.assoc < 1:
+            raise ConfigError("associativity must be >= 1, got %r" % self.assoc)
+        # Sizes need not be powers of two (Figure 8 compares against a
+        # 1.04 MB L2), but must fill whole sets.
+        if self.size_bytes <= 0 or self.size_bytes % (self.line_size * self.assoc):
+            raise ConfigError(
+                "cache size %d is not a multiple of line*assoc (%d)"
+                % (self.size_bytes, self.line_size * self.assoc)
+            )
+        if self.replacement not in ("lru", "random"):
+            raise ConfigError("unknown replacement policy %r" % self.replacement)
+
+    @property
+    def num_lines(self):
+        return self.size_bytes // self.line_size
+
+    @property
+    def num_sets(self):
+        return self.num_lines // self.assoc
+
+
+@dataclass(frozen=True)
+class DelegateCacheConfig:
+    """The delegate cache: producer table + consumer table (paper §2.3).
+
+    Entry counts refer to each table individually ("32-entry delegate
+    tables").  The consumer table is 4-way set associative with random
+    replacement per the paper; the producer table uses its age field (LRU).
+    """
+
+    entries: int = 32
+    consumer_assoc: int = 4
+
+    def __post_init__(self):
+        _check_power_of_two("delegate table entries", self.entries)
+        if self.consumer_assoc < 1 or self.entries % self.consumer_assoc:
+            raise ConfigError(
+                "consumer table of %d entries cannot be %d-way associative"
+                % (self.entries, self.consumer_assoc)
+            )
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """Fat-tree interconnect model (NUMALink-4-like, paper §3.1).
+
+    ``hop_latency`` is the node-to-node latency of one *protocol* hop for
+    nodes under different leaf routers (the paper's "100 processor cycles
+    latency per hop").  Nodes sharing a leaf router are slightly closer;
+    ``intra_leaf_fraction`` scales their latency.  Router contention is not
+    modelled (per the paper); hub port contention is (``hub_occupancy``).
+    """
+
+    hop_latency: int = 100
+    intra_leaf_fraction: float = 0.5
+    router_radix: int = 8
+    header_bytes: int = HEADER_BYTES
+    hub_occupancy: int = 4  # cycles a hub's port is busy per message
+
+    def __post_init__(self):
+        if self.hop_latency < 1:
+            raise ConfigError("hop latency must be >= 1 cycle")
+        if not 0.0 < self.intra_leaf_fraction <= 1.0:
+            raise ConfigError("intra_leaf_fraction must be in (0, 1]")
+        if self.router_radix < 2:
+            raise ConfigError("router radix must be >= 2")
+
+
+@dataclass(frozen=True)
+class ProtocolConfig:
+    """Which mechanisms are enabled and how they are tuned.
+
+    The paper's detector fields are fixed-width: ``last_writer`` 4 bits,
+    ``reader_count`` 2-bit saturating, ``write_repeat`` 2-bit saturating;
+    a line is marked producer-consumer when write_repeat saturates, i.e.
+    reaches ``write_repeat_threshold`` (3 for a 2-bit counter).
+    """
+
+    enable_rac: bool = False
+    enable_delegation: bool = False
+    enable_updates: bool = False
+    intervention_delay: int = 50
+    write_repeat_bits: int = 2
+    reader_count_bits: int = 2
+    #: Sharing-pattern predictor: "simple" (the paper's §2.2 detector) or
+    #: "multiwriter" (the §5 future-work extension tolerating a small set
+    #: of alternating writers) — see :mod:`repro.protocol.predictors`.
+    detector_kind: str = "simple"
+    nack_retry_delay: int = 20  # cycles a requester backs off after a NACK
+    max_retries: int = 10_000  # livelock tripwire, not a protocol feature
+
+    def __post_init__(self):
+        if self.enable_updates and not self.enable_delegation:
+            raise ConfigError("speculative updates require delegation")
+        if self.enable_delegation and not self.enable_rac:
+            raise ConfigError(
+                "delegation requires a RAC (surrogate memory for delegated lines)"
+            )
+        if self.intervention_delay < 0:
+            raise ConfigError("intervention delay must be >= 0")
+        if self.write_repeat_bits < 1 or self.reader_count_bits < 1:
+            raise ConfigError("detector counters need at least one bit")
+        if self.detector_kind not in ("simple", "multiwriter"):
+            raise ConfigError("unknown detector kind %r" % self.detector_kind)
+
+    @property
+    def write_repeat_threshold(self):
+        """Saturation value of the write-repeat counter."""
+        return (1 << self.write_repeat_bits) - 1
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Full simulated-system configuration (paper Table 1 defaults)."""
+
+    num_nodes: int = 16
+    l1: CacheConfig = field(
+        default_factory=lambda: CacheConfig(32 * 1024, 2, latency=2)
+    )
+    l2: CacheConfig = field(
+        default_factory=lambda: CacheConfig(2 * 1024 * 1024, 4, latency=10)
+    )
+    rac: CacheConfig = field(
+        default_factory=lambda: CacheConfig(32 * 1024, 4, latency=12,
+                                            replacement="random")
+    )
+    delegate: DelegateCacheConfig = field(default_factory=DelegateCacheConfig)
+    network: NetworkConfig = field(default_factory=NetworkConfig)
+    protocol: ProtocolConfig = field(default_factory=ProtocolConfig)
+    dram_latency: int = 200
+    directory_cache_entries: int = 8192
+    #: Sharing-vector encoding at the home directory: "full" (the paper's
+    #: exact bit vector), "coarse:G" or "limited:K" — see
+    #: :mod:`repro.directory.formats`.
+    directory_format: str = "full"
+    line_size: int = LINE_SIZE
+    seed: int = 12345
+
+    def __post_init__(self):
+        if self.num_nodes < 1:
+            raise ConfigError("need at least one node")
+        if self.num_nodes > 16:
+            # The detector's last-writer field is 4 bits (paper §2.2).
+            raise ConfigError("last-writer field is 4 bits; at most 16 nodes")
+        for cache in (self.l1, self.l2, self.rac):
+            if cache.line_size != self.line_size:
+                raise ConfigError(
+                    "all coherence-level caches must use the %d-byte system "
+                    "line size" % self.line_size
+                )
+
+    # -- derived helpers -------------------------------------------------
+
+    def line_of(self, addr):
+        """Cache-line base address containing byte address ``addr``."""
+        return addr & ~(self.line_size - 1)
+
+    def with_protocol(self, **kwargs):
+        """Return a copy with protocol fields replaced."""
+        return replace(self, protocol=replace(self.protocol, **kwargs))
+
+
+# ---------------------------------------------------------------------------
+# The six systems evaluated in Figure 7.
+# ---------------------------------------------------------------------------
+
+_KB = 1024
+_MB = 1024 * 1024
+
+
+def baseline(**overrides):
+    """Plain directory-based write-invalidate CC-NUMA (no RAC, no extensions)."""
+    return SystemConfig(**overrides)
+
+
+def rac_only(rac_bytes=32 * _KB, **overrides):
+    """Baseline plus a remote access cache (victim cache for remote data)."""
+    cfg = SystemConfig(**overrides)
+    return replace(
+        cfg,
+        rac=replace(cfg.rac, size_bytes=rac_bytes),
+        protocol=replace(cfg.protocol, enable_rac=True),
+    )
+
+
+def enhanced(delegate_entries=32, rac_bytes=32 * _KB, **overrides):
+    """RAC + delegation + speculative updates (the paper's full mechanism)."""
+    cfg = SystemConfig(**overrides)
+    return replace(
+        cfg,
+        rac=replace(cfg.rac, size_bytes=rac_bytes),
+        delegate=replace(cfg.delegate, entries=delegate_entries),
+        protocol=replace(
+            cfg.protocol,
+            enable_rac=True,
+            enable_delegation=True,
+            enable_updates=True,
+        ),
+    )
+
+
+def delegation_only(delegate_entries=32, rac_bytes=32 * _KB, **overrides):
+    """Delegation without speculative updates (paper: within ~1% of baseline)."""
+    cfg = enhanced(delegate_entries, rac_bytes, **overrides)
+    return replace(cfg, protocol=replace(cfg.protocol, enable_updates=False))
+
+
+def small(**overrides):
+    """32-entry delegate tables + 32 KB RAC ("very little hardware overhead")."""
+    return enhanced(32, 32 * _KB, **overrides)
+
+
+def large(**overrides):
+    """1K-entry delegate tables + 1 MB RAC ("modest overhead")."""
+    return enhanced(1024, 1 * _MB, **overrides)
+
+
+def dele1k_rac32k(**overrides):
+    return enhanced(1024, 32 * _KB, **overrides)
+
+
+def dele32_rac1m(**overrides):
+    return enhanced(32, 1 * _MB, **overrides)
+
+
+#: Name -> factory for the six systems of Figure 7, in the paper's order.
+EVALUATED_SYSTEMS = {
+    "base": baseline,
+    "rac32k": rac_only,
+    "dele32_rac32k": small,
+    "dele1k_rac1m": large,
+    "dele1k_rac32k": dele1k_rac32k,
+    "dele32_rac1m": dele32_rac1m,
+}

@@ -1,0 +1,18 @@
+"""Directory layer: authoritative home state, directory cache, placement."""
+
+from .dircache import DirectoryCache
+from .placement import PAGE_SIZE, AddressMap
+from .state import DirectoryEntry, DirState, HomeMemory
+
+__all__ = [
+    "DirectoryCache",
+    "PAGE_SIZE",
+    "AddressMap",
+    "DirectoryEntry",
+    "DirState",
+    "HomeMemory",
+]
+
+from .formats import DirectoryFormat
+
+__all__.append("DirectoryFormat")

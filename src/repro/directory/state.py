@@ -1,0 +1,102 @@
+"""Directory states and the per-line directory entry kept by home nodes.
+
+The home node's memory holds the authoritative directory information for
+every line it homes (SGI-style full directory in DRAM); the directory
+*cache* (:mod:`repro.directory.dircache`) is a fast subset whose entries
+additionally carry the producer-consumer detector bits.
+
+Directory states:
+
+``UNOWNED``
+    No cached copies anywhere; memory is current.
+``SHARED``
+    One or more read-only copies; memory is current.
+``EXCL``
+    A single owner may hold a modified copy; memory may be stale.
+``BUSY``
+    A transaction is in flight for this line; new requests are NACKed
+    (the SGI NACK/retry idiom, paper §2.3.4).
+``DELE``
+    Directory authority is delegated to ``delegate``; requests are
+    forwarded there (paper §2.3.2).
+"""
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Set
+
+
+class DirState(enum.Enum):
+    UNOWNED = "UNOWNED"
+    SHARED = "SHARED"
+    EXCL = "EXCL"
+    BUSY = "BUSY"
+    DELE = "DELE"
+
+
+@dataclass
+class DirectoryEntry:
+    """Authoritative home-side record for one cache line.
+
+    ``sharers`` always includes the owner while in EXCL (so the previous
+    consumer set survives a SHARED -> EXCL transition, which is exactly the
+    paper's "add an ownerID field and use the old sharing vector to track
+    the nodes to send updates" trick — here ``owner`` is that field).
+    """
+
+    addr: int
+    state: DirState = DirState.UNOWNED
+    sharers: Set[int] = field(default_factory=set)
+    owner: Optional[int] = None
+    value: int = 0
+    delegate: Optional[int] = None
+    busy: Optional[object] = None  # protocol-layer transaction record
+    # Speculative-update bookkeeping (meaningful on delegated entries):
+    # undelegation is deferred while pushed updates are unacknowledged.
+    pending_updates: int = 0
+    deferred_undelegate: Optional[str] = None
+    # Selective-update pruning (§2.4.2 refinement): consumers whose acks
+    # reported the previous push unconsumed accumulate strikes and stop
+    # receiving updates; an actual read clears the strikes.
+    update_strikes: dict = field(default_factory=dict)
+
+    def snapshot(self):
+        """A plain-dict image of directory info, as carried by DELEGATE and
+        UNDELE messages (the paper's ``DirEntry`` payload)."""
+        return {
+            "state": self.state,
+            "sharers": set(self.sharers),
+            "owner": self.owner,
+            "value": self.value,
+        }
+
+    def restore(self, snap):
+        """Install directory info received in an UNDELE message."""
+        self.state = snap["state"]
+        self.sharers = set(snap["sharers"])
+        self.owner = snap["owner"]
+        self.value = snap["value"]
+        self.delegate = None
+        self.busy = None
+
+
+class HomeMemory:
+    """All lines homed at one node: directory entries + memory data image."""
+
+    def __init__(self, node):
+        self.node = node
+        self._entries = {}
+
+    def entry(self, addr):
+        """The directory entry for ``addr`` (created UNOWNED on first use)."""
+        entry = self._entries.get(addr)
+        if entry is None:
+            entry = DirectoryEntry(addr=addr)
+            self._entries[addr] = entry
+        return entry
+
+    def known_lines(self):
+        return self._entries.keys()
+
+    def __len__(self):
+        return len(self._entries)

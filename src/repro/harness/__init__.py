@@ -1,0 +1,6 @@
+"""Experiment harness: app runner + one definition per paper artefact."""
+
+from . import experiments
+from .runner import AppRun, run_app, run_matrix
+
+__all__ = ["experiments", "AppRun", "run_app", "run_matrix"]

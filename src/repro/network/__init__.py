@@ -1,0 +1,7 @@
+"""Interconnect model: messages, fat-tree topology, delivery fabric."""
+
+from .fabric import Fabric
+from .message import Message, MsgType
+from .topology import FatTree
+
+__all__ = ["Fabric", "Message", "MsgType", "FatTree"]

@@ -1,0 +1,90 @@
+"""Coherence message vocabulary and wire-size accounting.
+
+Every inter-node interaction in the protocol is one of these message types.
+Sizes follow the paper's NUMALink model: a 32-byte minimum (header-only)
+packet, plus a full 128-byte cache line for data-bearing messages.  The
+evaluation's "network messages" and traffic-byte figures count exactly what
+goes through :meth:`repro.network.fabric.Fabric.send`.
+"""
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+
+
+class MsgType(enum.Enum):
+    """All network message types, with ``data`` marking data-bearing ones."""
+
+    # -- processor-initiated requests
+    GETS = ("GETS", False)                # read-shared request
+    GETX = ("GETX", False)                # read-exclusive / upgrade request
+
+    # -- home/owner replies
+    DATA_SHARED = ("DATA_SHARED", True)   # shared data reply
+    DATA_EXCL = ("DATA_EXCL", True)       # exclusive data reply ("spec reply")
+    ACK_X = ("ACK_X", False)              # exclusive grant without data (upgrade)
+
+    # -- invalidation / intervention
+    INV = ("INV", False)                  # invalidate a shared copy
+    INV_ACK = ("INV_ACK", False)          # invalidation acknowledgement
+    INTERVENTION = ("INTERVENTION", False)  # downgrade owner to SHARED
+    SHARED_WB = ("SHARED_WB", True)       # owner -> home: downgraded data
+    SHARED_RESP = ("SHARED_RESP", True)   # owner -> requester: shared data
+    EXCL_RESP = ("EXCL_RESP", True)       # owner -> requester: ownership + data
+    XFER_OWNER = ("XFER_OWNER", False)    # owner -> home: ownership moved
+
+    # -- writeback
+    WRITEBACK = ("WRITEBACK", True)       # dirty eviction, carries data
+    EVICT_CLEAN = ("EVICT_CLEAN", False)  # clean-exclusive eviction notice
+    WB_ACK = ("WB_ACK", False)
+
+    # -- flow control
+    NACK = ("NACK", False)                # busy, retry at same target
+    NACK_NOT_HOME = ("NACK_NOT_HOME", False)  # stale delegation hint, retry at home
+
+    # -- delegation (paper §2.3)
+    DELEGATE = ("DELEGATE", True)         # home -> producer: dir info + data
+    UNDELE = ("UNDELE", True)             # producer -> home: dir info + data
+    UNDELE_REQ = ("UNDELE_REQ", False)    # home -> producer: recall delegation
+    HOME_CHANGED = ("HOME_CHANGED", False)  # home -> requester: delegation hint
+
+    # -- speculative updates (paper §2.4)
+    UPDATE = ("UPDATE", True)             # producer -> consumer: pushed data
+    UPDATE_ACK = ("UPDATE_ACK", False)    # consumer -> producer: receipt ack
+    # UPDATE_ACK exists for a correctness reason the model checker found:
+    # undelegation must not return the directory to the home while pushed
+    # updates are still in flight, or a later INV from the *home* (a
+    # different FIFO channel) can be overtaken by a stale update.
+
+    def __init__(self, label, data_bearing):
+        self.label = label
+        self.data_bearing = data_bearing
+
+
+_msg_ids = itertools.count()
+
+
+@dataclass
+class Message:
+    """One network packet.
+
+    ``payload`` carries protocol metadata that would ride in real packet
+    fields: requester identity, directory snapshots for DELEGATE/UNDELE,
+    pending-request info, etc.  ``value`` is the cache-line data image for
+    data-bearing types.
+    """
+
+    mtype: MsgType
+    src: int
+    dst: int
+    addr: int
+    value: int = 0
+    payload: dict = field(default_factory=dict)
+    msg_id: int = field(default_factory=lambda: next(_msg_ids))
+
+    def size_bytes(self, header_bytes, line_size):
+        return header_bytes + (line_size if self.mtype.data_bearing else 0)
+
+    def __repr__(self):
+        return "Msg#%d(%s %d->%d 0x%x)" % (
+            self.msg_id, self.mtype.label, self.src, self.dst, self.addr)

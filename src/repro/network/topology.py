@@ -1,0 +1,69 @@
+"""Fat-tree interconnect topology (NUMALink-4-like, paper §3.1).
+
+The paper's network is a fat tree with eight children per non-leaf router
+and a 50 ns (100-cycle) node-to-node hop latency; router contention is not
+modelled.  We build the tree to compute link distances between nodes —
+nodes under the same leaf router are closer than nodes in different
+subtrees — and scale latency so a canonical cross-leaf traversal costs
+exactly ``hop_latency`` cycles.
+"""
+
+from ..common.errors import ConfigError
+
+
+class FatTree:
+    """Distance/latency oracle over a radix-``r`` fat tree of ``n`` nodes."""
+
+    def __init__(self, num_nodes, network_config):
+        if num_nodes < 1:
+            raise ConfigError("fat tree needs at least one node")
+        self.num_nodes = num_nodes
+        self.config = network_config
+        self._radix = network_config.router_radix
+        # Depth of the router tree: leaves host `radix` nodes each, each
+        # additional level multiplies capacity by `radix`.
+        depth = 1
+        capacity = self._radix
+        while capacity < num_nodes:
+            depth += 1
+            capacity *= self._radix
+        self.depth = depth
+
+    def leaf_of(self, node):
+        """Index of the leaf router hosting ``node``."""
+        self._check(node)
+        return node // self._radix
+
+    def router_links(self, a, b):
+        """Number of router-to-router/node links on the a->b path."""
+        self._check(a)
+        self._check(b)
+        if a == b:
+            return 0
+        # Climb from each leaf until the ancestor routers coincide.
+        ra, rb = self.leaf_of(a), self.leaf_of(b)
+        links = 2  # node->leaf and leaf->node
+        while ra != rb:
+            ra //= self._radix
+            rb //= self._radix
+            links += 2
+        return links
+
+    def latency(self, a, b):
+        """Node-to-node latency in CPU cycles.
+
+        Same node: 0.  Same leaf router: ``hop_latency * intra_leaf_fraction``.
+        Anything crossing leaf routers costs the full ``hop_latency`` — the
+        paper's uniform remote-hop cost — regardless of how many levels are
+        climbed (fat trees keep upper levels fast/wide).
+        """
+        if a == b:
+            return 0
+        cfg = self.config
+        if self.leaf_of(a) == self.leaf_of(b):
+            return max(1, round(cfg.hop_latency * cfg.intra_leaf_fraction))
+        return cfg.hop_latency
+
+    def _check(self, node):
+        if not 0 <= node < self.num_nodes:
+            raise ConfigError("node %r out of range [0, %d)" % (node, self.num_nodes))

@@ -1,0 +1,26 @@
+"""The paper's coherence mechanisms: detector, delegation, updates, hub."""
+
+from .delegate_cache import ConsumerTable, ProducerTable
+from .detector import DetectorEntry, ProducerConsumerDetector, consumer_bucket
+from .hub import Hub
+from .transactions import (
+    BusyKind,
+    BusyRecord,
+    MissKind,
+    OutstandingMiss,
+    PathClass,
+)
+
+__all__ = [
+    "ConsumerTable",
+    "ProducerTable",
+    "DetectorEntry",
+    "ProducerConsumerDetector",
+    "consumer_bucket",
+    "Hub",
+    "BusyKind",
+    "BusyRecord",
+    "MissKind",
+    "OutstandingMiss",
+    "PathClass",
+]

@@ -1,0 +1,109 @@
+"""The delegate cache: producer table + consumer table (paper §2.3, Fig. 3).
+
+* The **producer table** holds the directory entries of lines delegated *to*
+  this node (valid bit, tag, age, DirEntry — 10 bytes in hardware).  Its
+  capacity bounds how many lines a node can act as home for; inserting into
+  a full table evicts the oldest entry, which forces an undelegation
+  (undelegation reason 1).
+* The **consumer table** holds hints about lines delegated to *other* nodes
+  (valid bit, tag, new home — 6 bytes).  It is 4-way set associative with
+  random replacement; entries are pure hints, so eviction or staleness only
+  costs extra messages (NACK_NOT_HOME + retry), never correctness.
+"""
+
+from ..common.errors import ProtocolError
+from ..directory.state import DirectoryEntry
+
+
+class ProducerTable:
+    """Delegated-directory storage at a producer node (LRU by age field)."""
+
+    def __init__(self, capacity):
+        self.capacity = capacity
+        self._entries = {}  # addr -> DirectoryEntry; dict order tracks age
+
+    def lookup(self, addr, touch=True):
+        """The delegated directory entry for ``addr``, or None.
+
+        ``touch`` refreshes the age field (moves the entry to youngest).
+        """
+        entry = self._entries.get(addr)
+        if entry is not None and touch:
+            self._entries.pop(addr)
+            self._entries[addr] = entry
+        return entry
+
+    def victim_if_full(self):
+        """The entry that must be undelegated before a new insert, if any.
+
+        Prefers the oldest entry that is not mid-transaction; returns None
+        when there is room (or every entry is busy — in which case the
+        caller must decline the new delegation instead).
+        """
+        if len(self._entries) < self.capacity:
+            return None
+        for entry in self._entries.values():  # oldest first
+            if (entry.busy is None and entry.pending_updates == 0
+                    and entry.deferred_undelegate is None):
+                return entry
+        return None
+
+    def insert(self, addr, dir_entry):
+        """Install a delegated entry; the table must have room (the caller
+        evicts via :meth:`victim_if_full` + undelegation first)."""
+        if addr in self._entries:
+            raise ProtocolError("line 0x%x already delegated here" % addr)
+        if len(self._entries) >= self.capacity:
+            raise ProtocolError("producer table full; evict before insert")
+        if not isinstance(dir_entry, DirectoryEntry):
+            raise ProtocolError("producer table stores DirectoryEntry records")
+        self._entries[addr] = dir_entry
+
+    def remove(self, addr):
+        """Invalidate the entry for ``addr`` (undelegation); returns it."""
+        return self._entries.pop(addr, None)
+
+    def __contains__(self, addr):
+        return addr in self._entries
+
+    def __len__(self):
+        return len(self._entries)
+
+    def addresses(self):
+        return list(self._entries.keys())
+
+
+class ConsumerTable:
+    """Set-associative hint store: line address -> delegated home node."""
+
+    def __init__(self, config, rng):
+        self.capacity = config.entries
+        self.assoc = config.consumer_assoc
+        self.num_sets = config.entries // config.consumer_assoc
+        self._rng = rng
+        self._sets = [dict() for _ in range(self.num_sets)]
+
+    def _set_for(self, addr):
+        return self._sets[(addr >> 7) % self.num_sets]
+
+    def lookup(self, addr):
+        """The hinted delegated home for ``addr``, or None."""
+        return self._set_for(addr).get(addr)
+
+    def insert(self, addr, delegate):
+        """Record (or refresh) a delegation hint; random replacement."""
+        hint_set = self._set_for(addr)
+        if addr not in hint_set and len(hint_set) >= self.assoc:
+            victim = self._rng.choice(list(hint_set.keys()))
+            del hint_set[victim]
+        hint_set[addr] = delegate
+
+    def remove(self, addr):
+        """Drop a stale hint (after a NACK_NOT_HOME)."""
+        return self._set_for(addr).pop(addr, None)
+
+    def __contains__(self, addr):
+        return addr in self._set_for(addr)
+
+    def __len__(self):
+        return sum(len(s) for s in self._sets)

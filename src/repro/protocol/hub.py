@@ -1,0 +1,156 @@
+"""The per-node hub controller.
+
+The hub is the node's external directory controller (Figure 2): it owns the
+RAC, the directory (home memory + directory cache with detector bits), the
+delegate cache, and the network interface.  All of the paper's mechanisms
+live here — nothing requires processor changes, exactly as the paper
+stipulates.
+
+The class is assembled from three mixins that mirror the protocol roles:
+
+* :class:`~repro.protocol.requester.RequesterMixin` — cache-side logic
+  (processor misses, replies, NACK/retry, inbound INV/INTERVENTION).
+* :class:`~repro.protocol.home.HomeMixin` — home-directory logic (base
+  write-invalidate protocol, delegation initiation, DELE forwarding).
+* :class:`~repro.protocol.producer.ProducerMixin` — delegated-home logic
+  (acting-home service, undelegation, delayed intervention, updates).
+"""
+
+from ..cache.hierarchy import PrivateCacheHierarchy
+from ..cache.rac import RemoteAccessCache
+from ..common.errors import ProtocolError
+from ..common.rng import stream
+from ..directory.dircache import DirectoryCache
+from ..directory.formats import DirectoryFormat
+from ..directory.state import HomeMemory
+from ..network.message import Message, MsgType
+from .delegate_cache import ConsumerTable, ProducerTable
+from .home import HomeMixin
+from .predictors import make_detector
+from .producer import ProducerMixin
+from .requester import RequesterMixin
+
+
+class Hub(RequesterMixin, HomeMixin, ProducerMixin):
+    """One node's directory/coherence controller."""
+
+    def __init__(self, node, system):
+        self.node = node
+        self.system = system
+        self.config = system.config
+        self.events = system.events
+        self.fabric = system.fabric
+        self.stats = system.stats
+        self.address_map = system.address_map
+        self.checker = getattr(system, "checker", None)
+
+        protocol = self.config.protocol
+        self.hierarchy = PrivateCacheHierarchy(self.config)
+        self.rac = None
+        if protocol.enable_rac:
+            self.rac = RemoteAccessCache(
+                self.config.rac,
+                rng=stream(self.config.seed, "rac-%d" % node),
+                stats=self.stats)
+        self.home_memory = HomeMemory(node)
+        self.dir_format = DirectoryFormat.parse(self.config.directory_format)
+        self.detector = make_detector(protocol, self.stats)
+        self.dircache = DirectoryCache(self.config.directory_cache_entries,
+                                       self.detector.new_entry)
+        self.producer_table = None
+        self.consumer_table = None
+        if protocol.enable_delegation:
+            self.producer_table = ProducerTable(self.config.delegate.entries)
+            self.consumer_table = ConsumerTable(
+                self.config.delegate,
+                rng=stream(self.config.seed, "ct-%d" % node))
+
+        self.miss = None
+        self._intervention_epoch = {}
+        self.fabric.attach(node, self.dispatch)
+
+        self._handlers = {
+            MsgType.GETS: self._route_request,
+            MsgType.GETX: self._route_request,
+            MsgType.DATA_SHARED: self._on_data_shared,
+            MsgType.DATA_EXCL: self._on_data_excl,
+            MsgType.ACK_X: self._on_ack_x,
+            MsgType.INV: self._on_inv,
+            MsgType.INV_ACK: self._on_inv_ack,
+            MsgType.INTERVENTION: self._on_intervention,
+            MsgType.SHARED_WB: self._on_shared_wb,
+            MsgType.SHARED_RESP: self._on_shared_resp,
+            MsgType.EXCL_RESP: self._on_excl_resp,
+            MsgType.XFER_OWNER: self._on_xfer_owner,
+            MsgType.WRITEBACK: self._home_writeback,
+            MsgType.EVICT_CLEAN: self._home_writeback,
+            MsgType.WB_ACK: self._on_wb_ack,
+            MsgType.NACK: self._on_nack,
+            MsgType.NACK_NOT_HOME: self._on_nack_not_home,
+            MsgType.DELEGATE: self._on_delegate,
+            MsgType.UNDELE: self._on_undele,
+            MsgType.UNDELE_REQ: self._on_undele_req,
+            MsgType.HOME_CHANGED: self._on_home_changed,
+            MsgType.UPDATE: self._on_update,
+            MsgType.UPDATE_ACK: self._on_update_ack,
+        }
+
+    # -- plumbing -----------------------------------------------------------
+
+    def send(self, msg):
+        self.fabric.send(msg)
+
+    def dispatch(self, msg):
+        """Entry point for every message delivered to this node."""
+        handler = self._handlers.get(msg.mtype)
+        if handler is None:
+            raise self._protocol_error("no handler for %r" % msg)
+        handler(msg)
+
+    def _route_request(self, msg):
+        """GETS/GETX routing: acting home, real home, or stale-hint bounce."""
+        addr = msg.addr
+        if self.producer_table is not None and addr in self.producer_table:
+            if msg.mtype is MsgType.GETS:
+                self._acting_home_gets(msg)
+            else:
+                self._acting_home_getx(msg)
+        elif self.address_map.home_of(addr) == self.node:
+            if msg.mtype is MsgType.GETS:
+                self._home_gets(msg)
+            else:
+                self._home_getx(msg)
+        else:
+            # A stale consumer-table hint pointed here; the requester drops
+            # its hint and retries at the real home.
+            self.send(Message(MsgType.NACK_NOT_HOME, src=self.node,
+                              dst=msg.payload["requester"], addr=addr))
+
+    def _on_home_changed(self, msg):
+        if self.consumer_table is not None:
+            self.consumer_table.insert(msg.addr, msg.payload["delegate"])
+
+    def _protocol_error(self, text):
+        return ProtocolError("[node %d @ cycle %d] %s"
+                             % (self.node, self.events.now, text))
+
+    # -- introspection (used by tests and invariant checks) --------------------
+
+    def snapshot_line(self, addr):
+        """A debugging/verification view of this node's state for ``addr``."""
+        view = {
+            "l2": self.hierarchy.state_of(addr).value,
+            "dir": None,
+            "delegated_here": False,
+            "rac": None,
+        }
+        if self.address_map.home_of(addr) == self.node:
+            entry = self.home_memory.entry(addr)
+            view["dir"] = entry.state.value
+        if self.producer_table is not None and addr in self.producer_table:
+            view["delegated_here"] = True
+        if self.rac is not None:
+            line = self.rac.probe(addr)
+            if line is not None:
+                view["rac"] = line.kind.value
+        return view

@@ -1,0 +1,74 @@
+"""Transaction records used by the hub controller.
+
+Two kinds of in-flight bookkeeping exist:
+
+* :class:`OutstandingMiss` — the requester side.  Processors are in-order
+  and blocking, so each node has at most one processor-initiated miss in
+  flight, plus possibly one local producer-side write transaction (which
+  is the same record, since the processor is blocked on it).
+* :class:`BusyRecord` — the home/acting-home side, attached to a directory
+  entry while a multi-message transaction (intervention, undelegation) is
+  pending.  Requests that find a BusyRecord are NACKed.
+"""
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+
+class MissKind(enum.Enum):
+    READ = "read"
+    WRITE = "write"
+
+
+class PathClass(enum.Enum):
+    """Critical-path classification of a completed miss (paper's taxonomy)."""
+
+    LOCAL = "local"       # no network messages on the critical path
+    TWO_HOP = "2hop"      # requester <-> (acting) home only
+    THREE_HOP = "3hop"    # a third party (owner/sharer/forward) intervened
+
+
+@dataclass
+class OutstandingMiss:
+    """One processor-initiated miss from issue to completion."""
+
+    addr: int
+    kind: MissKind
+    callback: Callable  # invoked as callback(path_class) when done
+    store_value: int = 0
+    start_time: int = 0
+    target: Optional[int] = None
+    acks_needed: Optional[int] = None  # None until the grant arrives
+    acks_got: int = 0
+    granted: bool = False
+    grant_state: Optional[object] = None  # LineState to fill with
+    grant_value: int = 0
+    path: PathClass = PathClass.TWO_HOP
+    retries: int = 0
+    done: bool = False
+    pending_inv: bool = False  # an INV raced this read; drop line after use
+
+    def complete_when_ready(self):
+        """True when both the grant and every expected ack have arrived."""
+        return (self.granted and self.acks_needed is not None
+                and self.acks_got >= self.acks_needed)
+
+
+class BusyKind(enum.Enum):
+    INTERVENTION = "intervention"   # waiting for owner downgrade/transfer
+    WB_RACE = "wb_race"             # owner's copy gone; waiting for writeback
+    UNDELEGATE = "undelegate"       # waiting for the producer's UNDELE
+    INVALIDATING = "invalidating"   # producer collecting INV acks locally
+
+
+@dataclass
+class BusyRecord:
+    """Attached to a DirectoryEntry while a home-side transaction runs."""
+
+    kind: BusyKind
+    requester: Optional[int] = None
+    req_msg: Optional[object] = None   # buffered request to replay
+    acks_needed: int = 0
+    acks_got: int = 0
+    info: dict = field(default_factory=dict)

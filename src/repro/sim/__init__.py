@@ -1,0 +1,20 @@
+"""Execution-driven simulator: processors, barriers, system, checker."""
+
+from .barrier import BarrierManager
+from .coherence_check import CoherenceChecker
+from .processor import Processor
+from .system import RunResult, System
+from .trace import Barrier, Compute, Read, Write, count_ops
+
+__all__ = [
+    "BarrierManager",
+    "CoherenceChecker",
+    "Processor",
+    "RunResult",
+    "System",
+    "Barrier",
+    "Compute",
+    "Read",
+    "Write",
+    "count_ops",
+]

@@ -1,0 +1,135 @@
+"""Trace-driven in-order processor model.
+
+Each simulated CPU executes its operation stream sequentially: compute
+ops advance local time, loads/stores probe the private cache hierarchy
+and block on misses until the hub completes the coherence transaction
+(one outstanding miss per CPU), and barriers park the CPU until everyone
+arrives.
+
+This is a deliberate simplification of the paper's 4-issue out-of-order
+CPUs (see DESIGN.md): the phenomena under study are hub/directory-level,
+and a blocking CPU preserves the *relative* cost of local vs. 2-hop vs.
+3-hop misses that drives every result being reproduced.
+"""
+
+from ..common.errors import SimulationError
+from . import trace
+
+
+class Processor:
+    """One trace-driven CPU bound to a node's hub and cache hierarchy."""
+
+    def __init__(self, node, system, hub, ops):
+        self.node = node
+        self.system = system
+        self.hub = hub
+        self.events = system.events
+        self.stats = system.stats
+        self.checker = system.checker
+        self._ops = iter(ops)
+        self.finished = False
+        self.finish_time = None
+        self.ops_executed = 0
+        self._blocked_since = None
+
+    def start(self):
+        self.events.schedule(0, self._step)
+
+    # -- main loop ----------------------------------------------------------
+
+    def _step(self):
+        try:
+            op = next(self._ops)
+        except StopIteration:
+            self.finished = True
+            self.finish_time = self.events.now
+            self.system.on_cpu_finished(self.node)
+            return
+        self.ops_executed += 1
+        if isinstance(op, trace.Compute):
+            self.events.schedule(max(op.cycles, 1), self._step)
+        elif isinstance(op, trace.Read):
+            self._do_read(self.system.config.line_of(op.addr))
+        elif isinstance(op, trace.Write):
+            self._do_write(self.system.config.line_of(op.addr))
+        elif isinstance(op, trace.Barrier):
+            self.system.barrier.arrive(self.node, op.bid, self._step)
+        else:
+            raise SimulationError("node %d: unknown op %r" % (self.node, op))
+
+    # -- loads ----------------------------------------------------------------
+
+    def _do_read(self, addr):
+        result = self.hub.hierarchy.read(addr)
+        if result.hit:
+            self.stats.inc("hit.l1" if result.latency
+                           == self.system.config.l1.latency else "hit.l2")
+            if self.checker is not None:
+                now = self.events.now
+                self.checker.record_read(self.node, addr, result.value,
+                                         now, now + result.latency)
+            self.events.schedule(result.latency, self._step)
+            return
+        start = self.events.now
+        self._blocked_since = start
+        self.stats.inc("miss.read")
+        self.hub.request_read(addr, lambda path: self._finish_read(addr, start))
+
+    def _finish_read(self, addr, start):
+        result = self.hub.hierarchy.read(addr)
+        if not result.hit:
+            # The freshly filled line was stolen before the CPU could replay
+            # its load (possible only under extreme contention): miss again.
+            self.stats.inc("miss.read_replay")
+            self.hub.request_read(addr,
+                                  lambda path: self._finish_read(addr, start))
+            return
+        self._blocked_since = None
+        if self.checker is not None:
+            self.checker.record_read(self.node, addr, result.value,
+                                     start, self.events.now)
+        self.events.schedule(result.latency, self._step)
+
+    # -- stores -----------------------------------------------------------------
+
+    def _do_write(self, addr):
+        value = (self.checker.next_version() if self.checker is not None
+                 else self.events.now + self.node)
+        result = self.hub.hierarchy.write(addr, value)
+        if result.hit:
+            if self.checker is not None:
+                now = self.events.now
+                self.checker.record_write(self.node, addr, value,
+                                          now, now + result.latency)
+            self.events.schedule(result.latency, self._step)
+            return
+        start = self.events.now
+        self._blocked_since = start
+        self.stats.inc("miss.write")
+        self.hub.request_write(
+            addr, value, lambda path: self._finish_write(addr, value, start))
+
+    def _finish_write(self, addr, value, start):
+        result = self.hub.hierarchy.write(addr, value)
+        if not result.hit:
+            self.stats.inc("miss.write_replay")
+            self.hub.request_write(
+                addr, value,
+                lambda path: self._finish_write(addr, value, start))
+            return
+        self._blocked_since = None
+        if self.checker is not None:
+            self.checker.record_write(self.node, addr, value,
+                                      start, self.events.now)
+        self.events.schedule(result.latency, self._step)
+
+    # -- diagnostics -------------------------------------------------------------
+
+    def describe(self):
+        if self.finished:
+            return "finished@%d" % self.finish_time
+        if self._blocked_since is not None:
+            return "blocked since %d (miss %r)" % (
+                self._blocked_since,
+                self.hub.miss.addr if self.hub.miss else None)
+        return "running (%d ops done)" % self.ops_executed

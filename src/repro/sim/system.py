@@ -1,0 +1,105 @@
+"""The whole simulated machine and the run loop.
+
+``System`` wires together the event queue, fabric, per-node hubs and
+processors, the barrier manager, the address map and the online coherence
+checker, then drains the event queue until every CPU retires its trace.
+
+Typical use::
+
+    from repro.common import small
+    from repro.sim import System
+
+    system = System(small())
+    result = system.run(per_cpu_ops, placements={region_start: home_node})
+    print(result.cycles, result.stats["miss.remote_3hop"])
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..common.errors import SimulationError
+from ..common.events import EventQueue
+from ..common.stats import Stats
+from ..directory.placement import AddressMap
+from ..network.fabric import Fabric
+from ..protocol.hub import Hub
+from .barrier import BarrierManager
+from .coherence_check import CoherenceChecker
+from .processor import Processor
+
+
+@dataclass
+class RunResult:
+    """Everything a finished simulation reports."""
+
+    cycles: int
+    stats: Dict[str, int]
+    cpu_finish_times: List[int]
+    ops_executed: int
+    events_processed: int
+    extras: dict = field(default_factory=dict)
+
+    def stat(self, name, default=0):
+        return self.stats.get(name, default)
+
+
+class System:
+    """A ``num_nodes``-node cc-NUMA machine ready to execute one workload."""
+
+    def __init__(self, config, check_coherence=True):
+        self.config = config
+        self.events = EventQueue()
+        self.stats = Stats()
+        self.address_map = AddressMap(config.num_nodes)
+        self.fabric = Fabric(config, self.events, self.stats)
+        self.checker = CoherenceChecker(self) if check_coherence else None
+        self.hubs = [Hub(node, self) for node in range(config.num_nodes)]
+        self.processors = []
+        self.barrier = None
+        self._unfinished = 0
+
+    def on_cpu_finished(self, node):
+        self._unfinished -= 1
+
+    def run(self, per_cpu_ops, placements=None, max_cycles=None,
+            max_events=None):
+        """Execute one op stream per CPU and return a :class:`RunResult`.
+
+        ``per_cpu_ops`` is a sequence of at most ``num_nodes`` iterables of
+        trace ops; CPU *i* runs stream *i*.  ``placements`` is an iterable
+        of ``(start, length, home)`` triples modelling the paper's
+        first-touch placement; pass the triples produced by the workload's
+        :meth:`placements` method.
+        """
+        if self.processors:
+            raise SimulationError("a System instance runs exactly one workload")
+        if len(per_cpu_ops) > self.config.num_nodes:
+            raise SimulationError(
+                "%d op streams for %d nodes"
+                % (len(per_cpu_ops), self.config.num_nodes))
+        if placements:
+            for start, length, home in placements:
+                self.address_map.place_range(start, length, home)
+        self.barrier = BarrierManager(self.events, len(per_cpu_ops),
+                                      stats=self.stats)
+        self.processors = [
+            Processor(node, self, self.hubs[node], ops)
+            for node, ops in enumerate(per_cpu_ops)
+        ]
+        self._unfinished = len(self.processors)
+        for processor in self.processors:
+            processor.start()
+        self.events.run(max_events=max_events, max_cycles=max_cycles)
+        if self._unfinished:
+            raise SimulationError(
+                "simulation stalled at cycle %d with %d unfinished CPUs: %s"
+                % (self.events.now, self._unfinished,
+                   {p.node: p.describe() for p in self.processors
+                    if not p.finished}))
+        return RunResult(
+            cycles=max(p.finish_time for p in self.processors),
+            stats=self.stats.as_dict(),
+            cpu_finish_times=[p.finish_time for p in self.processors],
+            ops_executed=sum(p.ops_executed for p in self.processors),
+            events_processed=self.events.processed,
+        )

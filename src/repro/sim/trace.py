@@ -1,0 +1,50 @@
+"""Memory-operation traces executed by the simulated processors.
+
+A workload is one operation stream per CPU.  Four operations exist:
+
+* :class:`Compute` — local work, advances time without memory traffic;
+* :class:`Read` / :class:`Write` — a load/store to a byte address (the
+  coherence layer works on the containing 128-byte line);
+* :class:`Barrier` — global synchronisation among all participating CPUs.
+
+Streams may be any iterable (lists for small traces, generators for large
+ones — the simulator pulls operations lazily, so generated workloads never
+materialise in memory).
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Compute:
+    """Spin the CPU for ``cycles`` cycles of local work."""
+
+    cycles: int
+
+
+@dataclass(frozen=True)
+class Read:
+    """Load from byte address ``addr``."""
+
+    addr: int
+
+
+@dataclass(frozen=True)
+class Write:
+    """Store to byte address ``addr`` (the value is a version number the
+    simulator assigns at execution time for coherence checking)."""
+
+    addr: int
+
+
+@dataclass(frozen=True)
+class Barrier:
+    """Synchronise with every other participating CPU.  ``bid`` is a
+    sanity label: all CPUs must arrive at barriers in the same order."""
+
+    bid: int
+
+
+def count_ops(stream):
+    """Length of a materialised op stream (for tests/diagnostics)."""
+    return sum(1 for _ in stream)

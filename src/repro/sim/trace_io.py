@@ -1,0 +1,110 @@
+"""Workload trace serialisation.
+
+Traces are the interface between workload generation and simulation, so
+being able to persist them makes runs shareable and lets external tools
+(or real-application instrumentation) feed the simulator.  The format is
+a deliberately simple line-oriented text file:
+
+::
+
+    # repro-trace v1 cpus=4
+    # placement 0x100000 128 3        (start length home)
+    c 0 500          (cpu 0: compute 500 cycles)
+    r 1 0x100000     (cpu 1: read)
+    w 2 0x200000     (cpu 2: write)
+    b 3 7            (cpu 3: barrier id 7)
+
+Lines are (op, cpu, operand) triples; ordering *within one CPU* is the
+program order, and interleaving between CPUs carries no meaning.
+"""
+
+import io
+
+from ..common.errors import SimulationError
+from .trace import Barrier, Compute, Read, Write
+
+_HEADER = "# repro-trace v1 cpus=%d"
+
+
+def dump_trace(per_cpu_ops, placements=None, fileobj=None):
+    """Serialise op streams (and placements) to a text trace.
+
+    Returns the string if ``fileobj`` is None, else writes to it.
+    """
+    out = fileobj if fileobj is not None else io.StringIO()
+    streams = [list(ops) for ops in per_cpu_ops]
+    out.write(_HEADER % len(streams) + "\n")
+    for start, length, home in (placements or []):
+        out.write("# placement 0x%x %d %d\n" % (start, length, home))
+    for cpu, ops in enumerate(streams):
+        for op in ops:
+            if isinstance(op, Compute):
+                out.write("c %d %d\n" % (cpu, op.cycles))
+            elif isinstance(op, Read):
+                out.write("r %d 0x%x\n" % (cpu, op.addr))
+            elif isinstance(op, Write):
+                out.write("w %d 0x%x\n" % (cpu, op.addr))
+            elif isinstance(op, Barrier):
+                out.write("b %d %d\n" % (cpu, op.bid))
+            else:
+                raise SimulationError("cannot serialise op %r" % (op,))
+    if fileobj is None:
+        return out.getvalue()
+    return None
+
+
+def load_trace(source):
+    """Parse a trace produced by :func:`dump_trace`.
+
+    ``source`` is a string or a file object.  Returns
+    ``(per_cpu_ops, placements)``.
+    """
+    if isinstance(source, str):
+        lines = source.splitlines()
+    else:
+        lines = [line.rstrip("\n") for line in source]
+    if not lines or not lines[0].startswith("# repro-trace v1"):
+        raise SimulationError("not a repro-trace v1 file")
+    try:
+        num_cpus = int(lines[0].split("cpus=")[1])
+    except (IndexError, ValueError):
+        raise SimulationError("malformed trace header: %r" % lines[0])
+    ops = [[] for _ in range(num_cpus)]
+    placements = []
+    for lineno, line in enumerate(lines[1:], start=2):
+        if not line.strip():
+            continue
+        if line.startswith("# placement "):
+            _hash, _kw, start, length, home = line.split()
+            placements.append((int(start, 16), int(length), int(home)))
+            continue
+        if line.startswith("#"):
+            continue
+        try:
+            kind, cpu_text, operand = line.split()
+            cpu = int(cpu_text)
+            if kind == "c":
+                ops[cpu].append(Compute(int(operand)))
+            elif kind == "r":
+                ops[cpu].append(Read(int(operand, 16)))
+            elif kind == "w":
+                ops[cpu].append(Write(int(operand, 16)))
+            elif kind == "b":
+                ops[cpu].append(Barrier(int(operand)))
+            else:
+                raise ValueError(kind)
+        except (ValueError, IndexError):
+            raise SimulationError("bad trace line %d: %r" % (lineno, line))
+    return ops, placements
+
+
+def save_trace(path, per_cpu_ops, placements=None):
+    """Write a trace file to ``path``."""
+    with open(path, "w") as fileobj:
+        dump_trace(per_cpu_ops, placements, fileobj)
+
+
+def read_trace(path):
+    """Load a trace file from ``path``."""
+    with open(path) as fileobj:
+        return load_trace(fileobj)

@@ -1,0 +1,25 @@
+"""Workload generators: the paper's seven applications plus synthetics."""
+
+from .base import (
+    ConsumerProfile,
+    IterativePCWorkload,
+    PCWorkloadSpec,
+    WorkloadBuild,
+)
+from .registry import APPLICATIONS, application_names, get_workload
+from .synthetic import synthetic
+
+__all__ = [
+    "ConsumerProfile",
+    "IterativePCWorkload",
+    "PCWorkloadSpec",
+    "WorkloadBuild",
+    "APPLICATIONS",
+    "application_names",
+    "get_workload",
+    "synthetic",
+]
+
+from .migratory import MigratoryWorkload, migratory
+
+__all__ += ["MigratoryWorkload", "migratory"]

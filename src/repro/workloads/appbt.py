@@ -1,0 +1,38 @@
+"""Appbt — NAS block-tridiagonal 3D stencil (Gaussian elimination).
+
+Paper problem size: 16x16x16 cube, 60 timesteps.
+
+Sharing signature (paper §3.2): the cube is split into subcubes and
+Gaussian elimination sweeps all three dimensions, so subcube *faces* flow
+to the several processors owning adjacent subcubes — 91.6% of
+producer-consumer patterns have more than four consumers (Table 3).  The
+sheer volume of pushed face data per consumer exceeds a 32 KB RAC, so the
+small configuration keeps evicting updates before they are read (8%
+speedup); growing the RAC to 1 MB captures nearly the whole benefit (24%)
+even with 32-entry delegate tables (Figure 12 sweeps exactly this knob).
+"""
+
+from .base import ConsumerProfile, IterativePCWorkload, PCWorkloadSpec
+
+PROBLEM_SIZE = {"grid": "16x16x16", "timesteps": 60}
+
+CONSUMER_DISTRIBUTION = ConsumerProfile((
+    (2, 0.3), (3, 6.7), (4, 1.4), (5, 91.6),
+))
+
+SPEC = PCWorkloadSpec(
+    name="appbt",
+    iterations=12,
+    lines_per_producer=64,     # update volume per consumer: RAC pressure
+    consumer_profile=CONSUMER_DISTRIBUTION,
+    home_random_prob=0.25,
+    compute_produce=300000,
+    compute_consume=300000,
+    op_gap=8,
+    private_lines=4,
+)
+
+
+def workload(num_cpus=16, seed=12345, scale=1.0):
+    """The Appbt trace generator (see module docstring)."""
+    return IterativePCWorkload(SPEC, num_cpus=num_cpus, seed=seed, scale=scale)

@@ -1,0 +1,254 @@
+"""Workload framework: synthetic traces with controlled sharing patterns.
+
+The paper evaluates seven applications whose *sharing signatures* it
+characterises precisely (Table 3 consumer-count distributions plus §3.2
+prose).  We cannot run SPLASH-2/NPB binaries on a Python simulator, so each
+application is reproduced as a parametric trace generator that recreates
+the signature the mechanisms react to:
+
+* how many lines each producer owns and how often it rewrites them;
+* how many consumers read each line (Table 3 distribution) and how stable
+  the consumer set is across iterations (churn);
+* where lines are homed relative to their producer (first-touch outcome);
+* app-specific effects: post-barrier "reload flurry" hot lines (Em3D),
+  false sharing between alternating writers (CG), phases without
+  producer-consumer sharing (CG), compute/communication ratio (all).
+
+The builder emits one materialised op list per CPU, organised as barrier-
+separated produce/consume phases, plus the first-touch page placements.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..common.errors import ConfigError
+from ..common.rng import stream
+from ..directory.placement import PAGE_SIZE
+from . import regions
+from ..sim.trace import Barrier, Compute, Read, Write
+
+#: Address stride between allocated lines.  One line per page keeps page-
+#: granularity placement independent per line, and the extra line offset
+#: spreads consecutive lines across L2/RAC sets instead of aliasing.
+LINE_STRIDE = PAGE_SIZE + 128
+
+
+@dataclass(frozen=True)
+class ConsumerProfile:
+    """Distribution over consumer counts, as in the paper's Table 3.
+
+    ``weights`` maps a consumer count to its probability mass; the special
+    key 5 stands for the paper's "4+" bucket (5 or more consumers, sampled
+    uniformly between 5 and the available CPU count).
+    """
+
+    weights: Tuple[Tuple[int, float], ...]
+
+    def sample(self, rng, num_available):
+        total = sum(w for _, w in self.weights)
+        pick = rng.random() * total
+        for count, weight in self.weights:
+            pick -= weight
+            if pick <= 0:
+                break
+        if count >= 5:  # the "4+" bucket
+            count = rng.randint(5, max(5, min(num_available, 12)))
+        return min(count, num_available)
+
+
+@dataclass(frozen=True)
+class PCWorkloadSpec:
+    """Everything that defines one application's synthetic trace."""
+
+    name: str
+    iterations: int = 20
+    lines_per_producer: int = 8
+    writes_per_line: int = 1
+    reads_per_line: int = 1
+    op_gap: int = 8              # compute cycles between memory ops
+    compute_produce: int = 0     # per-CPU compute during the produce phase
+    compute_consume: int = 0     # per-CPU compute during the consume phase
+    consumer_profile: ConsumerProfile = ConsumerProfile(((1, 1.0),))
+    neighbor_consumers: bool = False  # ring neighbours instead of random
+    consumer_churn: float = 0.0       # P(resample consumer set) per iteration
+    remote_share_prob: float = 1.0    # P(line is shared at all)
+    home_random_prob: float = 0.0     # P(line homed away from its producer)
+    hot_lines: int = 0                # read by everyone right after barrier
+    false_share_pairs: int = 0        # CG: lines with two alternating writers
+    pc_active_fraction: float = 1.0   # CG: fraction of iterations with sharing
+    private_lines: int = 0            # per-CPU private lines touched per iter
+
+    def scaled(self, scale):
+        """A smaller copy for quick tests: fewer iterations and lines."""
+        if scale == 1.0:
+            return self
+        return PCWorkloadSpec(
+            **{**self.__dict__,
+               "iterations": max(4, int(self.iterations * scale)),
+               "lines_per_producer": max(1, int(self.lines_per_producer * scale))})
+
+
+@dataclass
+class WorkloadBuild:
+    """The product of :meth:`IterativePCWorkload.build`."""
+
+    name: str
+    per_cpu_ops: List[List[object]]
+    placements: List[Tuple[int, int, int]]  # (start, length, home)
+    shared_lines: Dict[int, int] = field(default_factory=dict)  # addr -> producer
+
+    @property
+    def total_ops(self):
+        return sum(len(ops) for ops in self.per_cpu_ops)
+
+
+class IterativePCWorkload:
+    """Builds barrier-synchronised produce/consume traces from a spec."""
+
+    def __init__(self, spec, num_cpus=16, seed=12345, scale=1.0):
+        if num_cpus < 2:
+            raise ConfigError("producer-consumer workloads need >= 2 CPUs")
+        self.spec = spec.scaled(scale)
+        self.num_cpus = num_cpus
+        self.seed = seed
+
+    # -- address layout -----------------------------------------------------
+
+    def _line_addr(self, region, index):
+        return regions.region_base(region) + index * LINE_STRIDE
+
+    # -- consumer-set machinery -------------------------------------------------
+
+    def _initial_consumers(self, rng, producer):
+        spec = self.spec
+        if rng.random() > spec.remote_share_prob:
+            return tuple()  # private line: producer reads its own data
+        count = spec.consumer_profile.sample(rng, self.num_cpus - 1)
+        if spec.neighbor_consumers:
+            return tuple((producer + 1 + i) % self.num_cpus
+                         for i in range(count))
+        others = [cpu for cpu in range(self.num_cpus) if cpu != producer]
+        rng.shuffle(others)
+        return tuple(sorted(others[:count]))
+
+    # -- build ----------------------------------------------------------------
+
+    def build(self):
+        spec = self.spec
+        rng = stream(self.seed, "wl:" + spec.name)
+        ops = [[] for _ in range(self.num_cpus)]
+        placements = []
+        shared_lines = {}
+
+        # Shared producer-consumer lines.
+        lines = []  # (addr, producer, consumers tuple)
+        for producer in range(self.num_cpus):
+            for index in range(spec.lines_per_producer):
+                addr = self._line_addr(regions.SHARED + producer, index)
+                if rng.random() < spec.home_random_prob:
+                    home = rng.randrange(self.num_cpus)
+                else:
+                    home = producer
+                placements.append((addr, 128, home))
+                consumers = self._initial_consumers(rng, producer)
+                lines.append([addr, producer, consumers])
+                shared_lines[addr] = producer
+
+        # Hot lines: written by a rotating producer, read by everyone right
+        # after the barrier (the reload flurry).  Such barrier-adjacent
+        # globals are first-touched by whoever allocated them, not by the
+        # phase writer, so their home is deliberately remote — which is
+        # what creates the BUSY-home NACK storm the paper describes.
+        hot = []
+        for index in range(spec.hot_lines):
+            addr = self._line_addr(regions.HOT, index)
+            producer = index % self.num_cpus
+            placements.append((addr, 128, (producer + 1) % self.num_cpus))
+            hot.append((addr, producer))
+            shared_lines[addr] = producer
+
+        # False-sharing lines: two CPUs alternate writes (never stable PC).
+        false_shared = []
+        for index in range(spec.false_share_pairs):
+            addr = self._line_addr(regions.FALSE_SHARE, index)
+            writer_a = (2 * index) % self.num_cpus
+            writer_b = (2 * index + 1) % self.num_cpus
+            placements.append((addr, 128, writer_a))
+            false_shared.append((addr, writer_a, writer_b))
+            shared_lines[addr] = writer_a
+
+        # Private per-CPU working sets.
+        private = {}
+        for cpu in range(self.num_cpus):
+            addrs = [self._line_addr(regions.PRIVATE + cpu, index)
+                     for index in range(spec.private_lines)]
+            for addr in addrs:
+                placements.append((addr, 128, cpu))
+            private[cpu] = addrs
+
+        barrier_id = 0
+        for iteration in range(spec.iterations):
+            pc_active = rng.random() < spec.pc_active_fraction
+            # Consumer churn: some lines move to a new consumer set.
+            if spec.consumer_churn:
+                for line in lines:
+                    if line[2] and rng.random() < spec.consumer_churn:
+                        line[2] = self._initial_consumers(rng, line[1])
+
+            # -- produce phase
+            for cpu in range(self.num_cpus):
+                if spec.compute_produce:
+                    ops[cpu].append(Compute(spec.compute_produce))
+            if pc_active:
+                for addr, producer, consumers in lines:
+                    for _ in range(spec.writes_per_line):
+                        ops[producer].append(Compute(spec.op_gap))
+                        ops[producer].append(Write(addr))
+            for addr, producer in hot:
+                ops[producer].append(Write(addr))
+            for addr, writer_a, writer_b in false_shared:
+                writer = writer_a if iteration % 2 == 0 else writer_b
+                ops[writer].append(Compute(spec.op_gap))
+                ops[writer].append(Write(addr))
+            for cpu in range(self.num_cpus):
+                for addr in private[cpu]:
+                    ops[cpu].append(Write(addr))
+
+            for cpu in range(self.num_cpus):
+                ops[cpu].append(Barrier(barrier_id))
+            barrier_id += 1
+
+            # -- consume phase
+            reads = [[] for _ in range(self.num_cpus)]
+            if pc_active:
+                for addr, producer, consumers in lines:
+                    readers = consumers if consumers else (producer,)
+                    for reader in readers:
+                        reads[reader].append(addr)
+            for addr, writer_a, writer_b in false_shared:
+                reader = writer_b if iteration % 2 == 0 else writer_a
+                reads[reader].append(addr)
+            for cpu in range(self.num_cpus):
+                # The reload flurry: everyone reads the hot lines at once.
+                for addr, producer in hot:
+                    if cpu != producer:
+                        ops[cpu].append(Read(addr))
+                if spec.compute_consume:
+                    ops[cpu].append(Compute(spec.compute_consume))
+                # Stagger start offsets so consumers do not convoy.
+                cpu_reads = reads[cpu]
+                if cpu_reads:
+                    offset = (cpu * 7) % len(cpu_reads)
+                    for addr in cpu_reads[offset:] + cpu_reads[:offset]:
+                        for _ in range(spec.reads_per_line):
+                            ops[cpu].append(Compute(spec.op_gap))
+                            ops[cpu].append(Read(addr))
+                for addr in private[cpu]:
+                    ops[cpu].append(Read(addr))
+            for cpu in range(self.num_cpus):
+                ops[cpu].append(Barrier(barrier_id))
+            barrier_id += 1
+
+        return WorkloadBuild(name=spec.name, per_cpu_ops=ops,
+                             placements=placements,
+                             shared_lines=shared_lines)

@@ -1,0 +1,75 @@
+"""Migratory sharing — the related-work pattern this paper does NOT chase.
+
+The paper positions itself against adaptive protocols for *migratory*
+sharing (Cox/Fowler and Stenström et al., its refs [10, 32]): data that a
+sequence of processors each read-modify-write in turn, the classic
+lock-protected-counter pattern.  The producer-consumer detector must
+leave migratory lines alone — every write comes from a *different* node,
+so the write-repeat counter never advances — otherwise delegation would
+ping-pong with every migration.
+
+This generator produces pure migratory traffic so that behaviour can be
+tested and demonstrated: each shared line is read-then-written by each
+CPU in turn, rotating around the machine every iteration.
+"""
+
+from ..common.errors import ConfigError
+from ..common.rng import stream
+from ..sim.trace import Barrier, Compute, Read, Write
+from . import regions
+from .base import LINE_STRIDE, WorkloadBuild
+
+#: Region number for migratory lines (disjoint from the PC regions).
+MIGRATORY_REGION = 66
+
+
+class MigratoryWorkload:
+    """Rotating read-modify-write over a set of shared lines."""
+
+    def __init__(self, lines=8, iterations=10, compute=300, op_gap=8,
+                 num_cpus=16, seed=12345, scale=1.0):
+        if num_cpus < 2:
+            raise ConfigError("migratory sharing needs >= 2 CPUs")
+        self.lines = max(1, int(lines * scale))
+        self.iterations = max(4, int(iterations * scale))
+        self.compute = compute
+        self.op_gap = op_gap
+        self.num_cpus = num_cpus
+        self.seed = seed
+
+    def build(self):
+        rng = stream(self.seed, "wl:migratory")
+        ops = [[] for _ in range(self.num_cpus)]
+        placements = []
+        shared_lines = {}
+        addrs = []
+        for index in range(self.lines):
+            addr = regions.region_base(MIGRATORY_REGION) + index * LINE_STRIDE
+            addrs.append(addr)
+            placements.append((addr, 128, rng.randrange(self.num_cpus)))
+            shared_lines[addr] = -1  # no single producer, by definition
+        barrier_id = 0
+        for iteration in range(self.iterations):
+            for cpu in range(self.num_cpus):
+                if self.compute:
+                    ops[cpu].append(Compute(self.compute))
+                for index, addr in enumerate(addrs):
+                    # Line `index` is held by CPU (iteration + index + cpu
+                    # offset) — each line migrates to the next CPU each
+                    # iteration; the current holder read-modify-writes it.
+                    holder = (iteration + index) % self.num_cpus
+                    if cpu == holder:
+                        ops[cpu].append(Compute(self.op_gap))
+                        ops[cpu].append(Read(addr))
+                        ops[cpu].append(Write(addr))
+            for cpu_ops in ops:
+                cpu_ops.append(Barrier(barrier_id))
+            barrier_id += 1
+        return WorkloadBuild(name="migratory", per_cpu_ops=ops,
+                             placements=placements,
+                             shared_lines=shared_lines)
+
+
+def migratory(**kwargs):
+    """Convenience factory matching the other workload modules."""
+    return MigratoryWorkload(**kwargs)

@@ -1,0 +1,38 @@
+"""Ocean — SPLASH-2 ocean-current simulation (contiguous partitions).
+
+Paper problem size: 258x258 grid, 1e-7 error tolerance.
+
+Sharing signature (paper §3.2): processors communicate only with their
+immediate neighbours, so boundary rows exhibit single-producer /
+single-consumer sharing — 97.7% of producer-consumer patterns have exactly
+one consumer (Table 3).  First-touch places each partition on its owner,
+so the producer *is* the home node for its boundary data: delegation is
+moot and all gains come from speculative updates converting the
+neighbour's 2-hop boundary reads into local RAC hits.  Ocean does
+substantial local stencil compute per boundary exchange, which bounds the
+achievable speedup (paper: 8% small config, 11% large).
+"""
+
+from .base import ConsumerProfile, IterativePCWorkload, PCWorkloadSpec
+
+PROBLEM_SIZE = {"grid": "258x258", "tolerance": 1e-7}
+
+CONSUMER_DISTRIBUTION = ConsumerProfile(((1, 97.7), (2, 1.8), (3, 0.5)))
+
+SPEC = PCWorkloadSpec(
+    name="ocean",
+    iterations=14,
+    lines_per_producer=8,
+    consumer_profile=CONSUMER_DISTRIBUTION,
+    neighbor_consumers=True,   # nearest-neighbour boundary exchange
+    home_random_prob=0.0,      # first-touch homes partitions on their owner
+    compute_produce=7500,
+    compute_consume=7500,
+    op_gap=12,
+    private_lines=8,
+)
+
+
+def workload(num_cpus=16, seed=12345, scale=1.0):
+    """The Ocean trace generator (see module docstring)."""
+    return IterativePCWorkload(SPEC, num_cpus=num_cpus, seed=seed, scale=scale)

@@ -1,0 +1,27 @@
+"""Virtual-address regions used by the workload generators.
+
+Each logical region gets a disjoint 16 MB window so placements, sharing
+roles and working sets never alias across regions or CPUs.  Region numbers
+are small integers; per-CPU regions add the CPU index to a base constant.
+"""
+
+#: Size of one region window in bytes.
+REGION_BYTES = 16 * 1024 * 1024
+
+# Region-number bases (per-CPU regions occupy base + cpu).
+SHARED = 1        # producer-consumer lines, one region per producer CPU
+HOT = 64          # barrier-adjacent hot lines (read by everyone)
+FALSE_SHARE = 65  # alternating-writer lines (CG false sharing)
+PRIVATE = 128     # per-CPU private working sets
+
+
+def region_base(region):
+    """Base byte address of a region window.
+
+    The base is staggered by a region-dependent line offset: windows are
+    16 MB apart, which is a multiple of every cache's set span, so without
+    the stagger all regions would start in set 0 and alias pathologically.
+    The 977-line stagger (977 is prime) spreads region starts across sets.
+    """
+    stagger = ((region * 977) % 8192) * 128
+    return (1 + region) * REGION_BYTES + stagger

@@ -1,0 +1,30 @@
+"""Registry of the paper's seven benchmark applications (Table 2)."""
+
+from . import appbt, barnes, cg, em3d, lu, mg, ocean
+
+#: Name -> module for the seven applications, in the paper's order.
+APPLICATIONS = {
+    "barnes": barnes,
+    "ocean": ocean,
+    "em3d": em3d,
+    "lu": lu,
+    "cg": cg,
+    "mg": mg,
+    "appbt": appbt,
+}
+
+
+def get_workload(name, num_cpus=16, seed=12345, scale=1.0):
+    """Construct the named application's trace generator."""
+    try:
+        module = APPLICATIONS[name]
+    except KeyError:
+        raise KeyError(
+            "unknown application %r; choose from %s"
+            % (name, sorted(APPLICATIONS))) from None
+    return module.workload(num_cpus=num_cpus, seed=seed, scale=scale)
+
+
+def application_names():
+    """The seven applications in the paper's presentation order."""
+    return list(APPLICATIONS)

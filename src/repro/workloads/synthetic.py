@@ -1,0 +1,41 @@
+"""A fully parametric synthetic producer-consumer workload.
+
+Useful for exploring the mechanisms outside the seven paper applications:
+pick a consumer-count profile, a home-placement policy, churn, compute
+intensity etc., and get a ready-to-run trace.  The quickstart example and
+many tests use this instead of a full application workload.
+"""
+
+from .base import ConsumerProfile, IterativePCWorkload, PCWorkloadSpec
+
+
+def synthetic(name="synthetic", iterations=10, lines_per_producer=8,
+              consumers=2, neighbor_consumers=False, home_random_prob=0.5,
+              consumer_churn=0.0, compute=300, op_gap=8, hot_lines=0,
+              false_share_pairs=0, pc_active_fraction=1.0,
+              num_cpus=16, seed=12345, scale=1.0):
+    """Build a synthetic workload with a fixed consumer count.
+
+    ``consumers`` may be an int (every shared line gets that many readers)
+    or a :class:`~repro.workloads.base.ConsumerProfile` for a distribution.
+    """
+    if isinstance(consumers, int):
+        profile = ConsumerProfile(((consumers, 1.0),))
+    else:
+        profile = consumers
+    spec = PCWorkloadSpec(
+        name=name,
+        iterations=iterations,
+        lines_per_producer=lines_per_producer,
+        consumer_profile=profile,
+        neighbor_consumers=neighbor_consumers,
+        home_random_prob=home_random_prob,
+        consumer_churn=consumer_churn,
+        compute_produce=compute,
+        compute_consume=compute,
+        op_gap=op_gap,
+        hot_lines=hot_lines,
+        false_share_pairs=false_share_pairs,
+        pc_active_fraction=pc_active_fraction,
+    )
+    return IterativePCWorkload(spec, num_cpus=num_cpus, seed=seed, scale=scale)

@@ -1,0 +1,28 @@
+"""Shared fixtures and helpers for the test suite."""
+
+import pytest
+
+from repro.common import baseline, small
+from repro.sim import System
+
+
+@pytest.fixture
+def base4():
+    """A small 4-node baseline configuration (fast tests)."""
+    return baseline(num_nodes=4)
+
+
+@pytest.fixture
+def small4():
+    """A 4-node configuration with RAC + delegation + updates."""
+    return small(num_nodes=4)
+
+
+def run_ops(config, per_cpu_ops, placements=None, check=True):
+    """Build a system, run op lists, return the RunResult."""
+    system = System(config, check_coherence=check)
+    return system.run(per_cpu_ops, placements=placements)
+
+
+def make_system(config, check=True):
+    return System(config, check_coherence=check)

@@ -1,0 +1,66 @@
+"""The paper's §3.3.1 hardware-area arithmetic."""
+
+import pytest
+
+from repro.analysis.area import (
+    AreaBudget,
+    area_of,
+    consumer_entry_bits,
+    equal_area_l2_bytes,
+    producer_entry_bits,
+)
+from repro.common import baseline, large, rac_only, small
+
+
+class TestEntrySizes:
+    def test_producer_entry_is_10_bytes(self):
+        assert producer_entry_bits() == 80  # Figure 3: 10 bytes
+
+    def test_consumer_entry_is_6_bytes(self):
+        assert consumer_entry_bits() == 48  # Figure 3: 6 bytes
+
+
+class TestPaperNumbers:
+    def test_32_entry_producer_table_is_320_bytes(self):
+        budget = area_of(small())
+        assert budget.producer_table_bytes == 320  # the paper's number
+
+    def test_detector_extension_is_8kb(self):
+        """8 bits x 8192 directory-cache entries = 8 KB (paper §3.3.1)."""
+        budget = area_of(small())
+        assert budget.detector_bytes == 8 * 1024
+
+    def test_small_config_is_roughly_40kb(self):
+        """'roughly 40KB of SRAM per node' for 32 entries + 32 KB RAC."""
+        budget = area_of(small())
+        assert 40 <= budget.total_kb <= 42
+
+    def test_large_config_dominated_by_rac(self):
+        budget = area_of(large())
+        assert budget.rac_bytes == 1024 * 1024
+        assert budget.rac_bytes > 0.9 * budget.total_bytes
+
+
+class TestDisabledMechanisms:
+    def test_baseline_has_zero_area(self):
+        assert area_of(baseline()).total_bytes == 0
+
+    def test_rac_only_counts_just_the_rac(self):
+        budget = area_of(rac_only())
+        assert budget.rac_bytes == 32 * 1024
+        assert budget.delegate_cache_bytes == 0
+        assert budget.detector_bytes == 0
+
+
+class TestEqualArea:
+    def test_figure8_l2_size(self):
+        """1 MB + ~40 KB of extensions ~= the paper's '1.04MB' L2."""
+        size = equal_area_l2_bytes(1024 * 1024, small())
+        assert 1.03 * 1024 * 1024 < size < 1.05 * 1024 * 1024
+        assert size % (128 * 4) == 0  # whole sets
+
+    def test_budget_properties(self):
+        budget = AreaBudget(320, 192, 8192, 32768)
+        assert budget.delegate_cache_bytes == 512
+        assert budget.total_bytes == 512 + 8192 + 32768
+        assert budget.total_kb == pytest.approx(40.5)

@@ -1,0 +1,96 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_apps_and_systems(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for app in ("barnes", "appbt"):
+            assert app in out
+        assert "dele32_rac32k" in out
+
+
+class TestRun:
+    def test_run_single_system(self, capsys):
+        assert main(["run", "ocean", "--system", "base",
+                     "--scale", "0.2"]) == 0
+        out = capsys.readouterr().out
+        assert "ocean" in out
+        assert "cycles" in out
+
+    def test_run_all_systems(self, capsys):
+        assert main(["run", "ocean", "--scale", "0.2", "--no-check"]) == 0
+        out = capsys.readouterr().out
+        assert "dele1k_rac1m" in out
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "linpack"])
+
+
+class TestExperiment:
+    def test_table3(self, capsys):
+        assert main(["experiment", "table3", "--scale", "0.25"]) == 0
+        assert "Table 3" in capsys.readouterr().out
+
+    def test_figure10(self, capsys):
+        assert main(["experiment", "figure10", "--scale", "0.25"]) == 0
+        assert "hop" in capsys.readouterr().out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "figure99"])
+
+
+class TestVerify:
+    def test_full_protocol_passes(self, capsys):
+        assert main(["verify"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("PASS")
+        assert "states" in out
+
+    def test_base_only(self, capsys):
+        assert main(["verify", "--no-delegation"]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_unordered_finds_violation(self, capsys):
+        assert main(["verify", "--unordered"]) == 1
+        assert "VIOLATION" in capsys.readouterr().out
+
+
+class TestArea:
+    def test_small_config_budget(self, capsys):
+        assert main(["area"]) == 0
+        out = capsys.readouterr().out
+        assert "40.5 KB" in out
+        assert "producer table" in out
+
+    def test_large_config_budget(self, capsys):
+        assert main(["area", "--system", "dele1k_rac1m"]) == 0
+        assert "RAC" in capsys.readouterr().out
+
+
+class TestParser:
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as err:
+            main(["--version"])
+        assert err.value.code == 0
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestReport:
+    def test_report_written(self, tmp_path, capsys):
+        out = tmp_path / "report.md"
+        from repro.cli import main as cli_main
+        assert cli_main(["report", "--output", str(out),
+                         "--scale", "0.2"]) == 0
+        text = out.read_text()
+        assert "# EXPERIMENTS" in text
+        assert "Figure 12" in text

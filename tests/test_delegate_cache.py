@@ -1,0 +1,138 @@
+"""Delegate cache: producer and consumer tables (paper §2.3, Figure 3)."""
+
+import pytest
+
+from repro.common import DelegateCacheConfig
+from repro.common.errors import ProtocolError
+from repro.common.rng import stream
+from repro.directory import DirectoryEntry
+from repro.protocol import ConsumerTable, ProducerTable
+from repro.protocol.transactions import BusyKind, BusyRecord
+
+
+def entry(addr, **kwargs):
+    return DirectoryEntry(addr=addr, **kwargs)
+
+
+class TestProducerTable:
+    def test_insert_and_lookup(self):
+        table = ProducerTable(4)
+        table.insert(0, entry(0))
+        assert table.lookup(0).addr == 0
+        assert 0 in table
+
+    def test_lookup_missing(self):
+        assert ProducerTable(4).lookup(0) is None
+
+    def test_capacity_enforced(self):
+        table = ProducerTable(2)
+        table.insert(0, entry(0))
+        table.insert(128, entry(128))
+        with pytest.raises(ProtocolError):
+            table.insert(256, entry(256))
+
+    def test_double_insert_rejected(self):
+        table = ProducerTable(4)
+        table.insert(0, entry(0))
+        with pytest.raises(ProtocolError):
+            table.insert(0, entry(0))
+
+    def test_victim_is_oldest(self):
+        table = ProducerTable(2)
+        table.insert(0, entry(0))
+        table.insert(128, entry(128))
+        assert table.victim_if_full().addr == 0
+
+    def test_lookup_refreshes_age(self):
+        table = ProducerTable(2)
+        table.insert(0, entry(0))
+        table.insert(128, entry(128))
+        table.lookup(0)  # 0 becomes youngest
+        assert table.victim_if_full().addr == 128
+
+    def test_victim_skips_busy_entries(self):
+        table = ProducerTable(2)
+        busy_entry = entry(0, busy=BusyRecord(BusyKind.INVALIDATING))
+        table.insert(0, busy_entry)
+        table.insert(128, entry(128))
+        assert table.victim_if_full().addr == 128
+
+    def test_victim_skips_pending_update_entries(self):
+        table = ProducerTable(2)
+        pending = entry(0)
+        pending.pending_updates = 2
+        table.insert(0, pending)
+        table.insert(128, entry(128))
+        assert table.victim_if_full().addr == 128
+
+    def test_no_victim_when_all_busy(self):
+        table = ProducerTable(1)
+        table.insert(0, entry(0, busy=BusyRecord(BusyKind.INVALIDATING)))
+        assert table.victim_if_full() is None
+
+    def test_no_victim_when_room(self):
+        table = ProducerTable(4)
+        table.insert(0, entry(0))
+        assert table.victim_if_full() is None
+
+    def test_remove(self):
+        table = ProducerTable(4)
+        table.insert(0, entry(0))
+        assert table.remove(0).addr == 0
+        assert 0 not in table
+        assert table.remove(0) is None
+
+    def test_only_direntries_accepted(self):
+        table = ProducerTable(4)
+        with pytest.raises(ProtocolError):
+            table.insert(0, {"not": "an entry"})
+
+    def test_addresses(self):
+        table = ProducerTable(4)
+        table.insert(0, entry(0))
+        table.insert(128, entry(128))
+        assert table.addresses() == [0, 128]
+
+
+class TestConsumerTable:
+    def make(self, entries=8, assoc=4):
+        cfg = DelegateCacheConfig(entries=entries, consumer_assoc=assoc)
+        return ConsumerTable(cfg, rng=stream(3, "ct"))
+
+    def test_insert_and_lookup(self):
+        table = self.make()
+        table.insert(0, 5)
+        assert table.lookup(0) == 5
+
+    def test_lookup_missing(self):
+        assert self.make().lookup(0) is None
+
+    def test_refresh_existing(self):
+        table = self.make()
+        table.insert(0, 5)
+        table.insert(0, 7)
+        assert table.lookup(0) == 7
+        assert len(table) == 1
+
+    def test_remove_stale_hint(self):
+        table = self.make()
+        table.insert(0, 5)
+        assert table.remove(0) == 5
+        assert 0 not in table
+
+    def test_random_replacement_within_set(self):
+        table = self.make(entries=8, assoc=4)  # 2 sets
+        stride = table.num_sets * 128
+        addrs = [i * stride for i in range(5)]  # all one set, 1 overflow
+        for addr in addrs:
+            table.insert(addr, 1)
+        # Capacity respected: one of the five was replaced.
+        resident = [a for a in addrs if a in table]
+        assert len(resident) == 4
+        assert addrs[4] in table  # newest always resident
+
+    def test_len_counts_all_sets(self):
+        table = self.make()
+        table.insert(0, 1)
+        table.insert(128, 2)
+        assert len(table) == 2

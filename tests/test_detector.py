@@ -1,0 +1,149 @@
+"""The producer-consumer sharing detector (paper §2.2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common import ProtocolConfig, Stats
+from repro.common.stats import PC_DETECTED
+from repro.protocol import DetectorEntry, ProducerConsumerDetector
+from repro.protocol.detector import consumer_bucket
+
+
+@pytest.fixture
+def det():
+    stats = Stats()
+    detector = ProducerConsumerDetector(
+        ProtocolConfig(enable_rac=True, enable_delegation=True), stats)
+    return detector, stats
+
+
+def pc_rounds(detector, entry, writer, reader, rounds):
+    """Drive write -> read cycles; returns True when marking happened."""
+    marked = False
+    for _ in range(rounds):
+        marked |= detector.observe_write(entry, writer, distinct_readers=1)
+        detector.observe_read(entry, reader, already_sharer=False)
+    return marked
+
+
+class TestDetection:
+    def test_pattern_marks_after_saturation(self, det):
+        detector, _ = det
+        entry = DetectorEntry(addr=0)
+        # W R W R W R W: write_repeat reaches 3 at the 4th write.
+        assert pc_rounds(detector, entry, writer=1, reader=2, rounds=4)
+        assert entry.marked_pc
+
+    def test_not_marked_too_early(self, det):
+        detector, _ = det
+        entry = DetectorEntry(addr=0)
+        assert not pc_rounds(detector, entry, writer=1, reader=2, rounds=3)
+
+    def test_writes_without_reads_never_mark(self, det):
+        detector, _ = det
+        entry = DetectorEntry(addr=0)
+        for _ in range(20):
+            assert not detector.observe_write(entry, 1, distinct_readers=0)
+        assert not entry.marked_pc
+
+    def test_alternating_writers_reset(self, det):
+        """False sharing / migratory data: the pattern never stabilises."""
+        detector, _ = det
+        entry = DetectorEntry(addr=0)
+        for _ in range(20):
+            detector.observe_write(entry, 1, distinct_readers=1)
+            detector.observe_read(entry, 3, already_sharer=False)
+            detector.observe_write(entry, 2, distinct_readers=1)
+            detector.observe_read(entry, 3, already_sharer=False)
+        assert not entry.marked_pc
+        assert entry.write_repeat <= 1
+
+    def test_different_writer_unmarks(self, det):
+        detector, _ = det
+        entry = DetectorEntry(addr=0)
+        pc_rounds(detector, entry, writer=1, reader=2, rounds=5)
+        assert entry.marked_pc
+        detector.observe_write(entry, 9, distinct_readers=1)
+        assert not entry.marked_pc
+        assert entry.write_repeat == 0
+
+    def test_reader_same_as_writer_not_counted(self, det):
+        detector, _ = det
+        entry = DetectorEntry(addr=0)
+        for _ in range(10):
+            detector.observe_write(entry, 1, distinct_readers=0)
+            detector.observe_read(entry, 1, already_sharer=False)
+        assert not entry.marked_pc
+
+    def test_already_sharer_not_counted(self, det):
+        detector, _ = det
+        entry = DetectorEntry(addr=0)
+        for _ in range(10):
+            detector.observe_write(entry, 1, distinct_readers=1)
+            detector.observe_read(entry, 2, already_sharer=True)
+        assert not entry.marked_pc
+
+    def test_reader_count_saturates_at_2_bits(self, det):
+        detector, _ = det
+        entry = DetectorEntry(addr=0)
+        detector.observe_write(entry, 1, distinct_readers=0)
+        for reader in range(2, 10):
+            detector.observe_read(entry, reader, already_sharer=False)
+        assert entry.reader_count == 3
+
+    def test_marked_stat_counted_once(self, det):
+        detector, stats = det
+        entry = DetectorEntry(addr=0)
+        pc_rounds(detector, entry, writer=1, reader=2, rounds=8)
+        assert stats.get(PC_DETECTED) == 1
+
+    def test_none_entry_ignored(self, det):
+        detector, _ = det
+        detector.observe_read(None, 1, already_sharer=False)
+        assert not detector.observe_write(None, 1, distinct_readers=1)
+
+
+class TestHistogram:
+    def test_bucket_labels(self):
+        assert consumer_bucket(1) == "1"
+        assert consumer_bucket(4) == "4"
+        assert consumer_bucket(5) == "4+"
+        assert consumer_bucket(15) == "4+"
+
+    def test_histogram_collected_on_repeat_write(self, det):
+        detector, stats = det
+        entry = DetectorEntry(addr=0)
+        detector.observe_write(entry, 1, distinct_readers=3)
+        detector.observe_read(entry, 2, already_sharer=False)
+        detector.observe_write(entry, 1, distinct_readers=3)
+        assert stats.get("detector.consumers.3") == 1
+
+
+class TestProperties:
+    @given(st.lists(st.tuples(st.sampled_from(["r", "w"]),
+                              st.integers(0, 3)),
+                    min_size=1, max_size=120))
+    @settings(max_examples=80, deadline=None)
+    def test_counters_stay_in_hardware_range(self, ops):
+        """The detector's fields must always fit their bit widths."""
+        detector = ProducerConsumerDetector(
+            ProtocolConfig(enable_rac=True, enable_delegation=True), Stats())
+        entry = DetectorEntry(addr=0)
+        for kind, node in ops:
+            if kind == "r":
+                detector.observe_read(entry, node, already_sharer=False)
+            else:
+                detector.observe_write(entry, node, distinct_readers=1)
+            assert 0 <= entry.reader_count <= 3
+            assert 0 <= entry.write_repeat <= 3
+            assert -1 <= entry.last_writer <= 15
+
+    @given(st.integers(2, 12), st.integers(4, 10))
+    @settings(max_examples=30, deadline=None)
+    def test_single_writer_pattern_always_detected(self, reader, rounds):
+        detector = ProducerConsumerDetector(
+            ProtocolConfig(enable_rac=True, enable_delegation=True), Stats())
+        entry = DetectorEntry(addr=0)
+        assert pc_rounds(detector, entry, writer=1, reader=reader,
+                         rounds=rounds)

@@ -1,0 +1,134 @@
+"""Directory layer: entries, home memory, directory cache, placement."""
+
+import pytest
+
+from repro.common import ConfigError
+from repro.directory import (
+    PAGE_SIZE,
+    AddressMap,
+    DirectoryCache,
+    DirectoryEntry,
+    DirState,
+    HomeMemory,
+)
+
+
+class TestDirectoryEntry:
+    def test_default_unowned(self):
+        entry = DirectoryEntry(addr=0)
+        assert entry.state is DirState.UNOWNED
+        assert entry.sharers == set()
+        assert entry.owner is None
+
+    def test_snapshot_is_independent_copy(self):
+        entry = DirectoryEntry(addr=0, state=DirState.SHARED,
+                               sharers={1, 2}, value=7)
+        snap = entry.snapshot()
+        entry.sharers.add(3)
+        assert snap["sharers"] == {1, 2}
+
+    def test_restore_round_trip(self):
+        entry = DirectoryEntry(addr=0, state=DirState.EXCL, owner=3,
+                               sharers={1}, value=9)
+        snap = entry.snapshot()
+        other = DirectoryEntry(addr=0)
+        other.restore(snap)
+        assert other.state is DirState.EXCL
+        assert other.owner == 3
+        assert other.sharers == {1}
+        assert other.value == 9
+
+    def test_restore_clears_busy_and_delegate(self):
+        entry = DirectoryEntry(addr=0, delegate=5, busy=object())
+        entry.restore({"state": DirState.UNOWNED, "sharers": set(),
+                       "owner": None, "value": 0})
+        assert entry.delegate is None
+        assert entry.busy is None
+
+
+class TestHomeMemory:
+    def test_entry_created_on_demand(self):
+        memory = HomeMemory(0)
+        entry = memory.entry(0x1000)
+        assert entry.addr == 0x1000
+        assert len(memory) == 1
+
+    def test_entry_is_stable(self):
+        memory = HomeMemory(0)
+        assert memory.entry(0) is memory.entry(0)
+
+
+class TestDirectoryCache:
+    def make(self, capacity=4):
+        return DirectoryCache(capacity, record_factory=lambda addr: [addr])
+
+    def test_lookup_creates(self):
+        cache = self.make()
+        record = cache.lookup(0x80)
+        assert record == [0x80]
+        assert 0x80 in cache
+
+    def test_lookup_no_create(self):
+        cache = self.make()
+        assert cache.lookup(0x80, create=False) is None
+        assert 0x80 not in cache
+
+    def test_lru_eviction_loses_record(self):
+        cache = self.make(capacity=2)
+        first = cache.lookup(0)
+        cache.lookup(128)
+        cache.lookup(256)  # evicts 0
+        assert 0 not in cache
+        assert cache.evictions == 1
+        # Re-lookup creates a *fresh* record (detector bits were lost).
+        assert cache.lookup(0) is not first
+
+    def test_lookup_refreshes_lru(self):
+        cache = self.make(capacity=2)
+        cache.lookup(0)
+        cache.lookup(128)
+        cache.lookup(0)      # refresh
+        cache.lookup(256)    # should evict 128, not 0
+        assert 0 in cache
+        assert 128 not in cache
+
+    def test_drop(self):
+        cache = self.make()
+        cache.lookup(0)
+        assert cache.drop(0) is not None
+        assert 0 not in cache
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ConfigError):
+            DirectoryCache(0, record_factory=list)
+
+
+class TestAddressMap:
+    def test_default_round_robin_by_page(self):
+        amap = AddressMap(4)
+        assert amap.home_of(0) == 0
+        assert amap.home_of(PAGE_SIZE) == 1
+        assert amap.home_of(4 * PAGE_SIZE) == 0
+
+    def test_placed_page_wins(self):
+        amap = AddressMap(4)
+        amap.place_page(0, 3)
+        assert amap.home_of(0) == 3
+        assert amap.home_of(PAGE_SIZE - 1) == 3
+
+    def test_place_range_covers_pages(self):
+        amap = AddressMap(4)
+        amap.place_range(0, 2 * PAGE_SIZE + 1, 2)
+        assert amap.home_of(0) == 2
+        assert amap.home_of(PAGE_SIZE) == 2
+        assert amap.home_of(2 * PAGE_SIZE) == 2
+        assert amap.home_of(3 * PAGE_SIZE) == 3  # untouched
+
+    def test_bad_home_rejected(self):
+        amap = AddressMap(4)
+        with pytest.raises(ConfigError):
+            amap.place_page(0, 4)
+
+    def test_bad_page_size_rejected(self):
+        with pytest.raises(ConfigError):
+            AddressMap(4, page_size=1000)

@@ -1,0 +1,130 @@
+"""Sharing-vector formats: full, coarse and limited-pointer directories."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common import ConfigError, baseline, small
+from repro.directory.formats import DirectoryFormat
+from repro.sim import Barrier, Compute, Read, System, Write
+
+LINE = 0x100000
+
+
+class TestParsing:
+    def test_full(self):
+        fmt = DirectoryFormat.parse("full")
+        assert fmt.kind == "full"
+
+    def test_coarse(self):
+        fmt = DirectoryFormat.parse("coarse:4")
+        assert (fmt.kind, fmt.param) == ("coarse", 4)
+
+    def test_limited(self):
+        fmt = DirectoryFormat.parse("limited:2")
+        assert (fmt.kind, fmt.param) == ("limited", 2)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigError):
+            DirectoryFormat.parse("sparse:3")
+
+    def test_missing_param_rejected(self):
+        with pytest.raises(ConfigError):
+            DirectoryFormat.parse("coarse")
+
+    def test_tiny_params_rejected(self):
+        with pytest.raises(ConfigError):
+            DirectoryFormat("coarse", 1)
+        with pytest.raises(ConfigError):
+            DirectoryFormat("limited", 0)
+
+
+class TestSemantics:
+    def test_full_is_exact(self):
+        fmt = DirectoryFormat("full")
+        assert fmt.observed_sharers({1, 5}, 16) == {1, 5}
+
+    def test_coarse_covers_groups(self):
+        fmt = DirectoryFormat("coarse", 4)
+        assert fmt.observed_sharers({1}, 16) == {0, 1, 2, 3}
+        assert fmt.observed_sharers({1, 9}, 16) == {0, 1, 2, 3, 8, 9, 10, 11}
+
+    def test_coarse_respects_node_count(self):
+        fmt = DirectoryFormat("coarse", 4)
+        assert fmt.observed_sharers({1}, 3) == {0, 1, 2}
+
+    def test_limited_exact_until_overflow(self):
+        fmt = DirectoryFormat("limited", 2)
+        assert fmt.observed_sharers({3, 7}, 16) == {3, 7}
+
+    def test_limited_broadcast_on_overflow(self):
+        fmt = DirectoryFormat("limited", 2)
+        assert fmt.observed_sharers({3, 7, 9}, 16) == set(range(16))
+
+    def test_empty_set_stays_empty(self):
+        for fmt in (DirectoryFormat("full"), DirectoryFormat("coarse", 4),
+                    DirectoryFormat("limited", 2)):
+            assert fmt.observed_sharers(set(), 16) == set()
+
+    def test_invalidation_targets_exclude_writer(self):
+        fmt = DirectoryFormat("coarse", 4)
+        targets = fmt.invalidation_targets({1}, exclude=0, num_nodes=16)
+        assert 0 not in targets
+        assert targets == {1, 2, 3}
+
+    @given(st.sets(st.integers(0, 15), max_size=8),
+           st.sampled_from(["full", "coarse:2", "coarse:4", "limited:1",
+                            "limited:4"]))
+    @settings(max_examples=80, deadline=None)
+    def test_always_a_superset(self, sharers, spec):
+        """Compression may only over-approximate — never drop a sharer."""
+        fmt = DirectoryFormat.parse(spec)
+        observed = fmt.observed_sharers(sharers, 16)
+        assert sharers.issubset(observed)
+
+
+class TestStorageCost:
+    def test_full_bits(self):
+        assert DirectoryFormat("full").bits_per_entry(16) == 16
+
+    def test_coarse_bits(self):
+        assert DirectoryFormat("coarse", 4).bits_per_entry(16) == 4
+
+    def test_limited_bits(self):
+        # 2 pointers x 4 bits + broadcast bit.
+        assert DirectoryFormat("limited", 2).bits_per_entry(16) == 9
+
+
+class TestProtocolIntegration:
+    def run_pc(self, config):
+        ops = [[] for _ in range(4)]
+        bid = 0
+        for _ in range(6):
+            ops[1].append(Write(LINE))
+            for s in ops:
+                s.append(Barrier(bid))
+            bid += 1
+            ops[2].append(Compute(200))
+            ops[2].append(Read(LINE))
+            for s in ops:
+                s.append(Barrier(bid))
+            bid += 1
+        system = System(config)
+        system.address_map.place_range(LINE, 128, 0)
+        return system.run(ops)
+
+    def test_coarse_vector_sends_more_invs(self):
+        from dataclasses import replace
+        exact = self.run_pc(baseline(num_nodes=4))
+        coarse = self.run_pc(replace(baseline(num_nodes=4),
+                                     directory_format="coarse:2"))
+        assert (coarse.stats.get("msg.sent.INV", 0)
+                >= exact.stats.get("msg.sent.INV", 0))
+
+    def test_compressed_formats_stay_coherent(self):
+        """Online checking passes under every format."""
+        from dataclasses import replace
+        for spec in ("coarse:2", "limited:1"):
+            cfg = replace(small(num_nodes=4), directory_format=spec)
+            result = self.run_pc(cfg)
+            assert result.cycles > 0

@@ -1,0 +1,92 @@
+"""Event queue: ordering, determinism, run limits."""
+
+import pytest
+
+from repro.common import EventQueue
+
+
+class TestScheduling:
+    def test_fires_in_time_order(self):
+        ev = EventQueue()
+        log = []
+        ev.schedule(30, log.append, "c")
+        ev.schedule(10, log.append, "a")
+        ev.schedule(20, log.append, "b")
+        ev.run()
+        assert log == ["a", "b", "c"]
+
+    def test_ties_fire_in_schedule_order(self):
+        ev = EventQueue()
+        log = []
+        for tag in "abcde":
+            ev.schedule(5, log.append, tag)
+        ev.run()
+        assert log == list("abcde")
+
+    def test_now_advances(self):
+        ev = EventQueue()
+        seen = []
+        ev.schedule(7, lambda: seen.append(ev.now))
+        ev.schedule(19, lambda: seen.append(ev.now))
+        ev.run()
+        assert seen == [7, 19]
+
+    def test_zero_delay_allowed(self):
+        ev = EventQueue()
+        fired = []
+        ev.schedule(0, fired.append, 1)
+        ev.run()
+        assert fired == [1]
+
+    def test_negative_delay_rejected(self):
+        ev = EventQueue()
+        with pytest.raises(ValueError):
+            ev.schedule(-1, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        ev = EventQueue()
+        ev.schedule(10, lambda: None)
+        ev.run()
+        with pytest.raises(ValueError):
+            ev.schedule_at(5, lambda: None)
+
+    def test_events_scheduled_during_run(self):
+        ev = EventQueue()
+        log = []
+
+        def first():
+            log.append("first")
+            ev.schedule(5, lambda: log.append("nested"))
+
+        ev.schedule(1, first)
+        ev.run()
+        assert log == ["first", "nested"]
+
+
+class TestRunLimits:
+    def test_max_events(self):
+        ev = EventQueue()
+        for _ in range(10):
+            ev.schedule(1, lambda: None)
+        fired = ev.run(max_events=4)
+        assert fired == 4
+        assert ev.pending == 6
+
+    def test_max_cycles(self):
+        ev = EventQueue()
+        log = []
+        ev.schedule(10, log.append, "early")
+        ev.schedule(100, log.append, "late")
+        ev.run(max_cycles=50)
+        assert log == ["early"]
+        assert ev.pending == 1
+
+    def test_step_empty_returns_false(self):
+        assert EventQueue().step() is False
+
+    def test_processed_counter(self):
+        ev = EventQueue()
+        for _ in range(3):
+            ev.schedule(1, lambda: None)
+        ev.run()
+        assert ev.processed == 3

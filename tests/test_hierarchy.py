@@ -1,0 +1,131 @@
+"""Private L1/L2 hierarchy: hits, misses, fills, coherence actions."""
+
+import pytest
+
+from repro.cache import LineState, PrivateCacheHierarchy
+from repro.common import SystemConfig
+from repro.common.errors import ProtocolError
+
+
+@pytest.fixture
+def hier():
+    return PrivateCacheHierarchy(SystemConfig())
+
+
+class TestReads:
+    def test_cold_read_misses(self, hier):
+        assert not hier.read(0).hit
+
+    def test_read_after_fill_hits(self, hier):
+        hier.fill(0, LineState.SHARED, 7)
+        result = hier.read(0)
+        assert result.hit
+        assert result.value == 7
+
+    def test_l1_hit_latency(self, hier):
+        hier.fill(0, LineState.SHARED, 7)
+        assert hier.read(0).latency == SystemConfig().l1.latency
+
+    def test_l2_hit_after_l1_eviction(self, hier):
+        hier.fill(0, LineState.SHARED, 7)
+        hier.l1.invalidate(0)
+        result = hier.read(0)
+        assert result.hit
+        assert result.latency == SystemConfig().l2.latency
+        # L1 refilled from L2.
+        assert hier.l1.probe(0) is not None
+
+
+class TestWrites:
+    def test_write_to_shared_misses(self, hier):
+        hier.fill(0, LineState.SHARED, 7)
+        assert not hier.write(0, 9).hit
+
+    def test_write_to_exclusive_hits_and_dirties(self, hier):
+        hier.fill(0, LineState.EXCLUSIVE, 7)
+        result = hier.write(0, 9)
+        assert result.hit
+        assert hier.state_of(0) is LineState.MODIFIED
+        assert hier.value_of(0) == 9
+
+    def test_write_to_modified_hits(self, hier):
+        hier.fill(0, LineState.MODIFIED, 7)
+        assert hier.write(0, 9).hit
+
+    def test_cold_write_misses(self, hier):
+        assert not hier.write(0, 9).hit
+
+
+class TestCoherenceActions:
+    def test_downgrade_keeps_shared_copy(self, hier):
+        hier.fill(0, LineState.MODIFIED, 7)
+        hier.write(0, 9)
+        value = hier.downgrade(0)
+        assert value == 9
+        assert hier.state_of(0) is LineState.SHARED
+        assert hier.read(0).hit
+
+    def test_downgrade_nonresident_raises(self, hier):
+        with pytest.raises(ProtocolError):
+            hier.downgrade(0)
+
+    def test_invalidate_removes_both_levels(self, hier):
+        hier.fill(0, LineState.SHARED, 7)
+        had, _value = hier.invalidate(0)
+        assert had
+        assert hier.state_of(0) is LineState.INVALID
+        assert hier.l1.probe(0) is None
+
+    def test_invalidate_missing(self, hier):
+        had, _ = hier.invalidate(0)
+        assert not had
+
+    def test_grant_exclusive_upgrades_shared(self, hier):
+        hier.fill(0, LineState.SHARED, 7)
+        hier.grant_exclusive(0)
+        assert hier.state_of(0) is LineState.EXCLUSIVE
+        assert hier.write(0, 8).hit
+
+    def test_grant_exclusive_nonresident_raises(self, hier):
+        with pytest.raises(ProtocolError):
+            hier.grant_exclusive(0)
+
+    def test_fill_invalid_state_rejected(self, hier):
+        with pytest.raises(ProtocolError):
+            hier.fill(0, LineState.INVALID, 0)
+
+    def test_evict_returns_notice(self, hier):
+        hier.fill(0, LineState.MODIFIED, 7)
+        notice = hier.evict(0)
+        assert notice.addr == 0
+        assert notice.state is LineState.MODIFIED
+        assert hier.state_of(0) is LineState.INVALID
+
+    def test_evict_missing_returns_none(self, hier):
+        assert hier.evict(0) is None
+
+
+class TestInclusion:
+    def test_l2_eviction_purges_l1(self):
+        # Tiny L2 (2 lines, direct-ish) to force an eviction.
+        cfg = SystemConfig()
+        from dataclasses import replace
+        from repro.common import CacheConfig
+        tiny = replace(cfg, l2=CacheConfig(256, 2, latency=10))
+        hier = PrivateCacheHierarchy(tiny)
+        hier.fill(0, LineState.SHARED, 1)
+        hier.fill(128, LineState.SHARED, 2)
+        notice = hier.fill(256, LineState.SHARED, 3)
+        assert notice is not None
+        assert hier.l1.probe(notice.addr) is None
+        assert hier.l2.probe(notice.addr) is None
+
+    def test_clean_shared_victim_reported(self):
+        from dataclasses import replace
+        from repro.common import CacheConfig
+        cfg = replace(SystemConfig(), l2=CacheConfig(256, 2, latency=10))
+        hier = PrivateCacheHierarchy(cfg)
+        hier.fill(0, LineState.SHARED, 1)
+        hier.fill(128, LineState.SHARED, 2)
+        notice = hier.fill(256, LineState.SHARED, 3)
+        assert notice.state is LineState.SHARED

@@ -1,0 +1,109 @@
+"""End-to-end application runs under full coherence checking.
+
+Every paper application runs (scaled down) on the baseline and enhanced
+systems; beyond "it runs clean", these assert each app's defining
+behaviour from §3.2 — the signature the calibration targets.
+"""
+
+import pytest
+
+from repro.common import baseline, large, small
+from repro.harness import run_app
+from repro.workloads import application_names
+
+SCALE = 0.5
+
+
+@pytest.fixture(scope="module")
+def runs():
+    """Run all apps on base/small/large once; reuse across tests."""
+    out = {}
+    for app in application_names():
+        out[app] = {
+            "base": run_app(app, baseline(), scale=SCALE).metrics,
+            "small": run_app(app, small(), scale=SCALE).metrics,
+            "large": run_app(app, large(), scale=SCALE).metrics,
+        }
+    return out
+
+
+class TestAllAppsRunClean:
+    @pytest.mark.parametrize("app", application_names())
+    def test_runs_with_coherence_checking(self, runs, app):
+        assert runs[app]["base"].cycles > 0
+        assert runs[app]["small"].cycles > 0
+        assert runs[app]["large"].cycles > 0
+
+
+class TestMechanismEffects:
+    @pytest.mark.parametrize("app", application_names())
+    def test_enhanced_never_slower_than_base_by_much(self, runs, app):
+        """The mechanisms may be a wash but must not badly hurt."""
+        assert runs[app]["small"].cycles <= runs[app]["base"].cycles * 1.05
+
+    @pytest.mark.parametrize("app", ["em3d", "lu", "mg", "barnes"])
+    def test_communication_heavy_apps_speed_up(self, runs, app):
+        assert runs[app]["base"].cycles > runs[app]["large"].cycles
+
+    @pytest.mark.parametrize("app", ["em3d", "lu", "ocean"])
+    def test_remote_misses_reduced(self, runs, app):
+        assert (runs[app]["large"].remote_misses
+                < runs[app]["base"].remote_misses)
+
+    def test_updates_flow_in_enhanced_configs(self, runs):
+        total = sum(runs[app]["large"].updates_sent
+                    for app in application_names())
+        assert total > 0
+
+    def test_baseline_sends_no_updates(self, runs):
+        for app in application_names():
+            assert runs[app]["base"].updates_sent == 0
+
+
+class TestAppSignatures:
+    def test_cg_gains_least(self, runs):
+        """CG: false sharing + compute-bound -> smallest speedup."""
+        speedups = {app: runs[app]["base"].cycles / runs[app]["large"].cycles
+                    for app in application_names()}
+        assert speedups["cg"] <= min(speedups["em3d"], speedups["lu"])
+
+    def test_mg_is_delegate_cache_limited(self):
+        """MG: 1K-entry tables recover more than the small config.  The
+        capacity pressure only exists at full problem size."""
+        base = run_app("mg", baseline()).metrics
+        small_m = run_app("mg", small()).metrics
+        large_m = run_app("mg", large()).metrics
+        assert base.cycles / large_m.cycles > base.cycles / small_m.cycles
+
+    def test_appbt_is_rac_limited(self):
+        base = run_app("appbt", baseline()).metrics
+        small_m = run_app("appbt", small()).metrics
+        large_m = run_app("appbt", large()).metrics
+        assert base.cycles / large_m.cycles > base.cycles / small_m.cycles
+
+    def test_em3d_nack_traffic_reduced(self):
+        """The reload flurry's NACKs largely disappear with updates (full
+        scale: the flurry needs all 16 consumers hammering hot lines)."""
+        base = run_app("em3d", baseline()).metrics
+        large_m = run_app("em3d", large()).metrics
+        assert base.nacks > 0
+        assert large_m.nacks < base.nacks
+
+    def test_ocean_single_consumer_dominates(self):
+        run = run_app("ocean", baseline(), scale=SCALE)
+        assert run.consumer_hist["1"] > 80
+
+    def test_appbt_many_consumers_dominates(self):
+        run = run_app("appbt", baseline(), scale=SCALE)
+        assert run.consumer_hist["4+"] > 70
+
+    def test_delegations_occur_for_remote_homed_apps(self, runs):
+        for app in ("barnes", "mg"):
+            assert runs[app]["large"].delegations > 0
+
+    def test_no_delegation_when_home_is_producer(self, runs):
+        """Ocean/LU home boundary data at the producer: home-self updates
+        fire without any delegation."""
+        for app in ("ocean", "lu"):
+            assert runs[app]["large"].delegations == 0
+            assert runs[app]["large"].updates_sent > 0

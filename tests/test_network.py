@@ -1,0 +1,143 @@
+"""Interconnect: message sizing, fat-tree topology, fabric delivery."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common import ConfigError, EventQueue, Stats, baseline
+from repro.network import Fabric, FatTree, Message, MsgType
+
+
+class TestMessageSizes:
+    def test_header_only_is_32_bytes(self):
+        msg = Message(MsgType.GETS, 0, 1, 0)
+        assert msg.size_bytes(32, 128) == 32
+
+    def test_data_bearing_adds_line(self):
+        msg = Message(MsgType.DATA_SHARED, 0, 1, 0)
+        assert msg.size_bytes(32, 128) == 160
+
+    def test_data_bearing_flags(self):
+        assert MsgType.UPDATE.data_bearing
+        assert MsgType.DELEGATE.data_bearing
+        assert MsgType.WRITEBACK.data_bearing
+        assert not MsgType.INV.data_bearing
+        assert not MsgType.NACK.data_bearing
+        assert not MsgType.UPDATE_ACK.data_bearing
+        assert not MsgType.EVICT_CLEAN.data_bearing
+
+    def test_message_ids_unique(self):
+        a = Message(MsgType.GETS, 0, 1, 0)
+        b = Message(MsgType.GETS, 0, 1, 0)
+        assert a.msg_id != b.msg_id
+
+
+class TestFatTree:
+    def test_same_node_zero_latency(self):
+        tree = FatTree(16, baseline().network)
+        assert tree.latency(3, 3) == 0
+
+    def test_same_leaf_cheaper(self):
+        tree = FatTree(16, baseline().network)
+        assert tree.latency(0, 1) < tree.latency(0, 9)
+
+    def test_cross_leaf_is_hop_latency(self):
+        cfg = baseline().network
+        tree = FatTree(16, cfg)
+        assert tree.latency(0, 9) == cfg.hop_latency
+
+    def test_leaf_assignment(self):
+        tree = FatTree(16, baseline().network)
+        assert tree.leaf_of(0) == 0
+        assert tree.leaf_of(7) == 0
+        assert tree.leaf_of(8) == 1
+
+    def test_router_links(self):
+        tree = FatTree(16, baseline().network)
+        assert tree.router_links(0, 0) == 0
+        assert tree.router_links(0, 1) == 2
+        assert tree.router_links(0, 9) == 4
+
+    def test_depth_grows_with_nodes(self):
+        cfg = baseline().network
+        assert FatTree(8, cfg).depth == 1
+        assert FatTree(16, cfg).depth == 2
+
+    def test_out_of_range_rejected(self):
+        tree = FatTree(4, baseline().network)
+        with pytest.raises(ConfigError):
+            tree.latency(0, 4)
+
+    @given(st.integers(0, 15), st.integers(0, 15))
+    @settings(max_examples=50, deadline=None)
+    def test_latency_symmetric(self, a, b):
+        tree = FatTree(16, baseline().network)
+        assert tree.latency(a, b) == tree.latency(b, a)
+
+    @given(st.integers(0, 15), st.integers(0, 15))
+    @settings(max_examples=50, deadline=None)
+    def test_latency_nonnegative_and_bounded(self, a, b):
+        cfg = baseline().network
+        tree = FatTree(16, cfg)
+        lat = tree.latency(a, b)
+        assert 0 <= lat <= cfg.hop_latency
+
+
+class TestFabric:
+    def make(self, num_nodes=4):
+        cfg = baseline(num_nodes=num_nodes)
+        events = EventQueue()
+        stats = Stats()
+        fabric = Fabric(cfg, events, stats)
+        inbox = {n: [] for n in range(num_nodes)}
+        for n in range(num_nodes):
+            fabric.attach(n, lambda m, n=n: inbox[n].append((events.now, m)))
+        return cfg, events, stats, fabric, inbox
+
+    def test_delivery_to_handler(self):
+        _cfg, events, _stats, fabric, inbox = self.make()
+        fabric.send(Message(MsgType.GETS, 0, 2, 0))
+        events.run()
+        assert len(inbox[2]) == 1
+
+    def test_local_send_not_counted_as_traffic(self):
+        _cfg, events, stats, fabric, inbox = self.make()
+        fabric.send(Message(MsgType.GETS, 1, 1, 0))
+        events.run()
+        assert len(inbox[1]) == 1
+        assert stats.total("msg.sent.") == 0
+
+    def test_remote_send_counted(self):
+        _cfg, events, stats, fabric, _ = self.make()
+        fabric.send(Message(MsgType.DATA_SHARED, 0, 1, 0))
+        events.run()
+        assert stats.get("msg.sent.DATA_SHARED") == 1
+        assert stats.get("msg.bytes") == 160
+
+    def test_port_contention_serialises(self):
+        cfg, events, _stats, fabric, inbox = self.make()
+        for _ in range(3):
+            fabric.send(Message(MsgType.GETS, 0, 1, 0))
+        events.run()
+        times = [t for t, _m in inbox[1]]
+        occupancy = cfg.network.hub_occupancy
+        assert times[1] - times[0] == occupancy
+        assert times[2] - times[1] == occupancy
+
+    def test_per_pair_fifo(self):
+        _cfg, events, _stats, fabric, inbox = self.make()
+        first = Message(MsgType.GETS, 0, 1, 0)
+        second = Message(MsgType.INV, 0, 1, 0)
+        fabric.send(first)
+        fabric.send(second)
+        events.run()
+        delivered = [m.msg_id for _t, m in inbox[1]]
+        assert delivered == [first.msg_id, second.msg_id]
+
+    def test_unattached_node_raises(self):
+        cfg = baseline(num_nodes=2)
+        events = EventQueue()
+        fabric = Fabric(cfg, events, Stats())
+        fabric.send(Message(MsgType.GETS, 0, 1, 0))
+        with pytest.raises(RuntimeError):
+            events.run()

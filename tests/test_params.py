@@ -1,0 +1,176 @@
+"""Configuration layer: Table 1 defaults, presets, validation."""
+
+import pytest
+
+from repro.common import (
+    EVALUATED_SYSTEMS,
+    CacheConfig,
+    ConfigError,
+    DelegateCacheConfig,
+    NetworkConfig,
+    ProtocolConfig,
+    SystemConfig,
+    baseline,
+    delegation_only,
+    enhanced,
+    large,
+    rac_only,
+    small,
+)
+
+KB = 1024
+MB = 1024 * 1024
+
+
+class TestTable1Defaults:
+    """The defaults must match the paper's Table 1."""
+
+    def test_sixteen_nodes(self):
+        assert SystemConfig().num_nodes == 16
+
+    def test_l1_32kb_2way(self):
+        cfg = SystemConfig()
+        assert cfg.l1.size_bytes == 32 * KB
+        assert cfg.l1.assoc == 2
+
+    def test_l2_2mb_4way_128b_lines(self):
+        cfg = SystemConfig()
+        assert cfg.l2.size_bytes == 2 * MB
+        assert cfg.l2.assoc == 4
+        assert cfg.l2.line_size == 128
+        assert cfg.l2.latency == 10
+
+    def test_dram_200_cycles(self):
+        assert SystemConfig().dram_latency == 200
+
+    def test_hop_latency_100_cycles(self):
+        assert SystemConfig().network.hop_latency == 100
+
+    def test_directory_cache_8k_entries(self):
+        assert SystemConfig().directory_cache_entries == 8192
+
+    def test_intervention_delay_50_cycles(self):
+        assert SystemConfig().protocol.intervention_delay == 50
+
+    def test_router_radix_8(self):
+        assert SystemConfig().network.router_radix == 8
+
+    def test_min_packet_32_bytes(self):
+        assert SystemConfig().network.header_bytes == 32
+
+
+class TestPresets:
+    def test_baseline_has_no_mechanisms(self):
+        cfg = baseline()
+        assert not cfg.protocol.enable_rac
+        assert not cfg.protocol.enable_delegation
+        assert not cfg.protocol.enable_updates
+
+    def test_rac_only(self):
+        cfg = rac_only()
+        assert cfg.protocol.enable_rac
+        assert not cfg.protocol.enable_delegation
+        assert cfg.rac.size_bytes == 32 * KB
+
+    def test_small_is_32_entry_32k(self):
+        cfg = small()
+        assert cfg.delegate.entries == 32
+        assert cfg.rac.size_bytes == 32 * KB
+        assert cfg.protocol.enable_updates
+
+    def test_large_is_1k_entry_1m(self):
+        cfg = large()
+        assert cfg.delegate.entries == 1024
+        assert cfg.rac.size_bytes == 1 * MB
+
+    def test_delegation_only_disables_updates(self):
+        cfg = delegation_only()
+        assert cfg.protocol.enable_delegation
+        assert not cfg.protocol.enable_updates
+
+    def test_six_evaluated_systems(self):
+        assert len(EVALUATED_SYSTEMS) == 6
+        assert list(EVALUATED_SYSTEMS)[0] == "base"
+
+    def test_evaluated_systems_instantiable(self):
+        for name, factory in EVALUATED_SYSTEMS.items():
+            cfg = factory()
+            assert isinstance(cfg, SystemConfig), name
+
+    def test_enhanced_custom_sizes(self):
+        cfg = enhanced(delegate_entries=128, rac_bytes=256 * KB)
+        assert cfg.delegate.entries == 128
+        assert cfg.rac.size_bytes == 256 * KB
+
+
+class TestValidation:
+    def test_updates_require_delegation(self):
+        with pytest.raises(ConfigError):
+            ProtocolConfig(enable_updates=True, enable_delegation=False)
+
+    def test_delegation_requires_rac(self):
+        with pytest.raises(ConfigError):
+            ProtocolConfig(enable_delegation=True, enable_rac=False)
+
+    def test_negative_intervention_delay(self):
+        with pytest.raises(ConfigError):
+            ProtocolConfig(intervention_delay=-1)
+
+    def test_cache_size_must_fill_sets(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(size_bytes=1000, assoc=4)
+
+    def test_non_power_of_two_cache_size_allowed(self):
+        cfg = CacheConfig(size_bytes=1090560, assoc=4)  # Figure 8's 1.04 MB
+        assert cfg.num_lines == 1090560 // 128
+
+    def test_line_size_power_of_two(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(size_bytes=4096, assoc=1, line_size=96)
+
+    def test_zero_assoc_rejected(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(size_bytes=4096, assoc=0)
+
+    def test_bad_replacement_rejected(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(size_bytes=4096, assoc=2, replacement="fifo")
+
+    def test_too_many_nodes_rejected(self):
+        # The last-writer detector field is 4 bits (paper §2.2).
+        with pytest.raises(ConfigError):
+            SystemConfig(num_nodes=17)
+
+    def test_delegate_entries_power_of_two(self):
+        with pytest.raises(ConfigError):
+            DelegateCacheConfig(entries=33)
+
+    def test_network_bad_fraction(self):
+        with pytest.raises(ConfigError):
+            NetworkConfig(intra_leaf_fraction=0.0)
+
+    def test_mismatched_line_size_rejected(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(l1=CacheConfig(32 * KB, 2, line_size=64))
+
+
+class TestDerived:
+    def test_write_repeat_threshold_2bit(self):
+        assert ProtocolConfig().write_repeat_threshold == 3
+
+    def test_line_of_alignment(self):
+        cfg = SystemConfig()
+        assert cfg.line_of(0) == 0
+        assert cfg.line_of(127) == 0
+        assert cfg.line_of(128) == 128
+        assert cfg.line_of(1000) == 896
+
+    def test_with_protocol_override(self):
+        cfg = small().with_protocol(intervention_delay=500)
+        assert cfg.protocol.intervention_delay == 500
+        assert cfg.protocol.enable_updates  # other fields preserved
+
+    def test_cache_geometry(self):
+        cfg = CacheConfig(size_bytes=32 * KB, assoc=4, line_size=128)
+        assert cfg.num_lines == 256
+        assert cfg.num_sets == 64

@@ -1,0 +1,213 @@
+"""Base write-invalidate protocol scenarios on a small system.
+
+These drive hand-built op traces through the full simulator (fabric, hubs,
+processors) and assert on the externally visible effects: miss
+classifications, message counts, state transitions, and race resolutions.
+Online coherence checking is active in every test.
+"""
+
+import pytest
+
+from repro.cache import LineState
+from repro.directory import DirState
+from repro.sim import Barrier, Compute, Read, System, Write
+
+from conftest import run_ops
+
+LINE = 0x100000  # homed at page 0x100 -> node (0x100 % num_nodes)
+
+
+def home_of(config, addr=LINE):
+    system = System(config)
+    return system.address_map.home_of(addr)
+
+
+class TestReadPaths:
+    def test_local_read_unowned_is_local_miss(self, base4):
+        # CPU 0 reads a line homed at node 0.
+        res = run_ops(base4, [[Read(LINE)]], placements=[(LINE, 128, 0)])
+        assert res.stats.get("miss.local", 0) == 1
+        assert res.stats.get("miss.remote_2hop", 0) == 0
+
+    def test_remote_read_unowned_is_2hop(self, base4):
+        res = run_ops(base4, [[Read(LINE)]], placements=[(LINE, 128, 3)])
+        assert res.stats.get("miss.remote_2hop") == 1
+
+    def test_read_to_dirty_remote_line_is_3hop(self, base4):
+        # CPU 1 writes (owner), then CPU 2 reads: home must intervene.
+        ops = [
+            [Barrier(0), Barrier(1)],
+            [Write(LINE), Barrier(0), Barrier(1)],
+            [Barrier(0), Read(LINE), Barrier(1)],
+        ]
+        res = run_ops(base4, ops, placements=[(LINE, 128, 0)])
+        assert res.stats.get("miss.remote_3hop") == 1
+        assert res.stats.get("msg.sent.INTERVENTION") == 1
+        assert res.stats.get("msg.sent.SHARED_RESP") == 1
+        assert res.stats.get("msg.sent.SHARED_WB") == 1
+
+    def test_read_gets_exclusive_grant_on_unowned(self, base4):
+        system = System(base4)
+        system.address_map.place_range(LINE, 128, 3)
+        res = system.run([[Read(LINE)]])
+        assert res.cycles > 0
+        assert system.hubs[0].hierarchy.state_of(LINE) is LineState.EXCLUSIVE
+
+    def test_second_reader_downgrades_to_shared(self, base4):
+        system = System(base4)
+        system.address_map.place_range(LINE, 128, 3)
+        ops = [
+            [Read(LINE), Barrier(0), Barrier(1)],
+            [Barrier(0), Read(LINE), Barrier(1)],
+        ]
+        res = system.run(ops)
+        assert res.cycles > 0
+        assert system.hubs[0].hierarchy.state_of(LINE) is LineState.SHARED
+        assert system.hubs[1].hierarchy.state_of(LINE) is LineState.SHARED
+
+
+class TestWritePaths:
+    def test_cold_write_remote_is_2hop(self, base4):
+        res = run_ops(base4, [[Write(LINE)]], placements=[(LINE, 128, 3)])
+        assert res.stats.get("miss.remote_2hop") == 1
+
+    def test_write_invalidates_sharers(self, base4):
+        system = System(base4)
+        system.address_map.place_range(LINE, 128, 0)
+        ops = [
+            [Read(LINE), Barrier(0), Barrier(1)],
+            [Read(LINE), Barrier(0), Barrier(1)],
+            [Barrier(0), Write(LINE), Barrier(1)],
+        ]
+        res = system.run(ops)
+        assert res.stats.get("msg.sent.INV") >= 1
+        assert system.hubs[0].hierarchy.state_of(LINE) is LineState.INVALID
+        assert system.hubs[1].hierarchy.state_of(LINE) is LineState.INVALID
+        assert system.hubs[2].hierarchy.state_of(LINE) is LineState.MODIFIED
+
+    def test_upgrade_uses_ack_x_without_data(self, base4):
+        system = System(base4)
+        system.address_map.place_range(LINE, 128, 0)
+        # CPU 1 reads then (after CPU 2 also reads) upgrades.
+        ops = [
+            [Barrier(0), Barrier(1)],
+            [Read(LINE), Barrier(0), Write(LINE), Barrier(1)],
+            [Read(LINE), Barrier(0), Barrier(1)],
+        ]
+        res = system.run(ops)
+        assert res.stats.get("msg.sent.ACK_X") == 1
+
+    def test_ownership_transfer_between_writers(self, base4):
+        system = System(base4)
+        system.address_map.place_range(LINE, 128, 0)
+        ops = [
+            [Barrier(0), Barrier(1)],
+            [Write(LINE), Barrier(0), Barrier(1)],
+            [Barrier(0), Write(LINE), Barrier(1)],
+        ]
+        res = system.run(ops)
+        assert res.stats.get("msg.sent.EXCL_RESP") == 1
+        assert res.stats.get("msg.sent.XFER_OWNER") == 1
+        entry = system.hubs[0].home_memory.entry(LINE)
+        assert entry.state is DirState.EXCL
+        assert entry.owner == 2
+
+    def test_write_then_read_same_cpu_all_hits(self, base4):
+        res = run_ops(base4, [[Write(LINE), Read(LINE), Read(LINE)]],
+                      placements=[(LINE, 128, 0)])
+        assert res.stats.get("hit.l1", 0) >= 2
+
+
+class TestWritebacks:
+    def force_eviction_ops(self, config):
+        """Enough distinct lines mapping to one L2 set to force eviction."""
+        l2 = config.l2
+        stride = l2.num_sets * 128
+        return [Write(LINE + i * stride) for i in range(l2.assoc + 1)]
+
+    def test_dirty_eviction_writes_back(self, base4):
+        ops = self.force_eviction_ops(base4)
+        res = run_ops(base4, [ops], placements=[(LINE, 128, 3)])
+        assert res.stats.get("msg.sent.WRITEBACK", 0) >= 1
+        assert res.stats.get("msg.sent.WB_ACK", 0) >= 1
+
+    def test_reread_after_eviction_fetches_written_value(self, base4):
+        # The coherence checker validates the value transparently.
+        ops = self.force_eviction_ops(base4) + [Read(LINE)]
+        res = run_ops(base4, [ops], placements=[(LINE, 128, 3)])
+        assert res.cycles > 0
+
+    def test_clean_exclusive_eviction_notifies_home(self, base4):
+        l2 = base4.l2
+        stride = l2.num_sets * 128
+        ops = [Read(LINE + i * stride) for i in range(l2.assoc + 1)]
+        res = run_ops(base4, [ops], placements=[(LINE, 128, 3)])
+        assert res.stats.get("msg.sent.EVICT_CLEAN", 0) >= 1
+
+
+class TestRaces:
+    def test_concurrent_readers_of_dirty_line_nack_retry(self, base4):
+        """The reload flurry: concurrent GETS to a BUSY home NACKs."""
+        system = System(base4)
+        system.address_map.place_range(LINE, 128, 0)
+        ops = [
+            [Barrier(0), Barrier(1)],
+            [Write(LINE), Barrier(0), Barrier(1)],
+            [Barrier(0), Read(LINE), Barrier(1)],
+            [Barrier(0), Read(LINE), Barrier(1)],
+        ]
+        res = system.run(ops)
+        # At least one of the two concurrent readers hits the BUSY window.
+        assert res.stats.get("protocol.nack", 0) >= 1
+        assert system.hubs[2].hierarchy.state_of(LINE).readable
+        assert system.hubs[3].hierarchy.state_of(LINE).readable
+
+    def test_write_write_race_serialises(self, base4):
+        system = System(base4)
+        system.address_map.place_range(LINE, 128, 0)
+        ops = [
+            [],
+            [Write(LINE)],
+            [Write(LINE)],
+        ]
+        res = system.run(ops)
+        states = [system.hubs[n].hierarchy.state_of(LINE) for n in (1, 2)]
+        assert sorted(s.value for s in states) == ["I", "M"]
+
+    def test_many_writers_many_readers_coherent(self, base4):
+        """Stress mix; the online checker enforces correctness."""
+        ops = []
+        for cpu in range(4):
+            stream = []
+            for it in range(6):
+                if cpu % 2 == 0:
+                    stream.append(Write(LINE))
+                else:
+                    stream.append(Read(LINE))
+                stream.append(Compute(37 * (cpu + 1)))
+                stream.append(Barrier(it))
+            ops.append(stream)
+        res = run_ops(base4, ops, placements=[(LINE, 128, 2)])
+        assert res.cycles > 0
+
+
+class TestBarriers:
+    def test_barrier_synchronises(self, base4):
+        system = System(base4)
+        ops = [
+            [Compute(1000), Barrier(0)],
+            [Compute(10), Barrier(0)],
+        ]
+        res = system.run(ops)
+        # Both must finish after the slow CPU reaches the barrier.
+        assert min(res.cpu_finish_times) >= 1000
+
+    def test_mismatched_barriers_detected(self, base4):
+        from repro.common.errors import SimulationError
+        system = System(base4)
+        ops = [
+            [Barrier(0)],
+            [Barrier(1)],
+        ]
+        with pytest.raises(SimulationError):
+            system.run(ops)

@@ -1,0 +1,165 @@
+"""Generic set-associative cache: geometry, replacement, pinning."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import CacheCapacityError, LineState, SetAssociativeCache
+from repro.common import CacheConfig, ConfigError
+from repro.common.errors import ReproError
+
+
+def make_cache(size=4096, assoc=4, line=128, replacement="lru", rng=None):
+    cfg = CacheConfig(size_bytes=size, assoc=assoc, line_size=line,
+                      replacement=replacement)
+    return SetAssociativeCache(cfg, rng=rng, name="test")
+
+
+class TestGeometry:
+    def test_set_index_wraps(self):
+        cache = make_cache(size=4096, assoc=4, line=128)  # 8 sets
+        assert cache.set_index(0) == 0
+        assert cache.set_index(128) == 1
+        assert cache.set_index(8 * 128) == 0
+
+    def test_unaligned_address_rejected(self):
+        cache = make_cache()
+        with pytest.raises(ReproError):
+            cache.probe(5)
+
+    def test_random_replacement_needs_rng(self):
+        cfg = CacheConfig(4096, 4, replacement="random")
+        with pytest.raises(ConfigError):
+            SetAssociativeCache(cfg, rng=None)
+
+
+class TestResidency:
+    def test_insert_then_probe(self):
+        cache = make_cache()
+        cache.insert(0, state=LineState.SHARED, value=9)
+        line = cache.probe(0)
+        assert line.value == 9
+        assert line.state is LineState.SHARED
+
+    def test_probe_miss_returns_none(self):
+        assert make_cache().probe(128) is None
+
+    def test_contains(self):
+        cache = make_cache()
+        cache.insert(256)
+        assert 256 in cache
+        assert 0 not in cache
+
+    def test_len_counts_lines(self):
+        cache = make_cache()
+        for i in range(5):
+            cache.insert(i * 128)
+        assert len(cache) == 5
+
+    def test_invalidate_removes(self):
+        cache = make_cache()
+        cache.insert(0)
+        removed = cache.invalidate(0)
+        assert removed is not None
+        assert 0 not in cache
+
+    def test_invalidate_missing_returns_none(self):
+        assert make_cache().invalidate(0) is None
+
+    def test_insert_existing_updates_in_place(self):
+        cache = make_cache()
+        cache.insert(0, state=LineState.SHARED, value=1)
+        evicted = cache.insert(0, state=LineState.MODIFIED, value=2)
+        assert evicted is None
+        assert cache.probe(0).value == 2
+        assert len(cache) == 1
+
+    def test_clear(self):
+        cache = make_cache()
+        cache.insert(0)
+        cache.clear()
+        assert len(cache) == 0
+
+
+class TestLru:
+    def test_evicts_least_recently_used(self):
+        cache = make_cache(size=4096, assoc=2)
+        stride = cache.config.num_sets * 128  # all map to set 0
+        cache.insert(0 * stride)
+        cache.insert(1 * stride)
+        cache.access(0 * stride)  # refresh line 0
+        evicted = cache.insert(2 * stride)
+        assert evicted.addr == 1 * stride
+
+    def test_access_returns_none_on_miss(self):
+        assert make_cache().access(0) is None
+
+    def test_victim_for_no_eviction_needed(self):
+        cache = make_cache(assoc=2)
+        cache.insert(0)
+        assert cache.victim_for(128) is None  # other set
+        assert cache.victim_for(0) is None    # hit
+
+
+class TestPinning:
+    def test_pinned_lines_never_victims(self):
+        cache = make_cache(size=4096, assoc=2)
+        stride = cache.config.num_sets * 128
+        cache.insert(0 * stride, pinned=True)
+        cache.insert(1 * stride)
+        evicted = cache.insert(2 * stride)
+        assert evicted.addr == 1 * stride  # the unpinned one
+
+    def test_all_pinned_raises(self):
+        cache = make_cache(size=4096, assoc=2)
+        stride = cache.config.num_sets * 128
+        cache.insert(0 * stride, pinned=True)
+        cache.insert(1 * stride, pinned=True)
+        with pytest.raises(CacheCapacityError):
+            cache.insert(2 * stride)
+
+    def test_has_room_respects_pins(self):
+        cache = make_cache(size=4096, assoc=2)
+        stride = cache.config.num_sets * 128
+        cache.insert(0 * stride, pinned=True)
+        cache.insert(1 * stride, pinned=True)
+        assert not cache.has_room(2 * stride)
+        assert cache.has_room(0 * stride)  # hit is always fine
+        assert cache.has_room(128)  # different set
+
+    def test_random_replacement_picks_unpinned(self):
+        cache = make_cache(size=4096, assoc=4, replacement="random",
+                           rng=random.Random(7))
+        stride = cache.config.num_sets * 128
+        for i in range(3):
+            cache.insert(i * stride, pinned=True)
+        cache.insert(3 * stride)
+        evicted = cache.insert(4 * stride)
+        assert evicted.addr == 3 * stride
+
+
+class TestProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=63), min_size=1,
+                    max_size=200))
+    @settings(max_examples=60, deadline=None)
+    def test_occupancy_never_exceeds_capacity(self, line_indices):
+        cache = make_cache(size=2048, assoc=2)  # 16 lines capacity
+        for idx in line_indices:
+            cache.insert(idx * 128)
+        assert len(cache) <= 16
+        # And per-set occupancy never exceeds associativity.
+        per_set = {}
+        for line in cache.lines():
+            per_set.setdefault(cache.set_index(line.addr), []).append(line)
+        assert all(len(lines) <= 2 for lines in per_set.values())
+
+    @given(st.lists(st.integers(min_value=0, max_value=31), min_size=1,
+                    max_size=100))
+    @settings(max_examples=60, deadline=None)
+    def test_most_recent_insert_always_resident(self, line_indices):
+        cache = make_cache(size=2048, assoc=2)
+        for idx in line_indices:
+            cache.insert(idx * 128)
+            assert idx * 128 in cache

@@ -1,0 +1,75 @@
+"""Stats counters and seeded RNG streams."""
+
+from repro.common import Stats
+from repro.common.rng import derive_seed, stream
+from repro.common.stats import remote_misses, total_messages
+
+
+class TestStats:
+    def test_counters_start_at_zero(self):
+        assert Stats().get("anything") == 0
+
+    def test_inc_and_get(self):
+        s = Stats()
+        s.inc("x")
+        s.inc("x", 4)
+        assert s.get("x") == 5
+
+    def test_prefixed(self):
+        s = Stats()
+        s.inc("msg.sent.GETS", 2)
+        s.inc("msg.sent.INV", 3)
+        s.inc("miss.local")
+        assert s.prefixed("msg.sent.") == {"msg.sent.GETS": 2,
+                                           "msg.sent.INV": 3}
+
+    def test_total(self):
+        s = Stats()
+        s.inc("msg.sent.GETS", 2)
+        s.inc("msg.sent.INV", 3)
+        assert s.total("msg.sent.") == 5
+
+    def test_merge(self):
+        a, b = Stats(), Stats()
+        a.inc("x", 1)
+        b.inc("x", 2)
+        b.inc("y", 3)
+        a.merge(b)
+        assert a.get("x") == 3
+        assert a.get("y") == 3
+
+    def test_as_dict_sorted(self):
+        s = Stats()
+        s.inc("b")
+        s.inc("a")
+        assert list(s.as_dict()) == ["a", "b"]
+
+    def test_remote_misses_helper(self):
+        s = Stats()
+        s.inc("miss.remote_2hop", 3)
+        s.inc("miss.remote_3hop", 4)
+        assert remote_misses(s) == 7
+
+    def test_total_messages_helper(self):
+        s = Stats()
+        s.inc("msg.sent.GETS", 2)
+        s.inc("msg.sent.UPDATE", 5)
+        assert total_messages(s) == 7
+
+
+class TestRng:
+    def test_same_name_same_stream(self):
+        assert stream(1, "a").random() == stream(1, "a").random()
+
+    def test_different_names_differ(self):
+        assert stream(1, "a").random() != stream(1, "b").random()
+
+    def test_different_seeds_differ(self):
+        assert stream(1, "a").random() != stream(2, "a").random()
+
+    def test_derive_seed_is_32bit(self):
+        for seed in (0, 1, 123456789):
+            assert 0 <= derive_seed(seed, "stream") < 2 ** 32
+
+    def test_derive_seed_deterministic(self):
+        assert derive_seed(42, "x") == derive_seed(42, "x")

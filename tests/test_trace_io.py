@@ -1,0 +1,93 @@
+"""Trace serialisation round-trips."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common import baseline
+from repro.common.errors import SimulationError
+from repro.sim import Barrier, Compute, Read, System, Write
+from repro.sim.trace_io import dump_trace, load_trace, read_trace, save_trace
+from repro.workloads import synthetic
+
+
+class TestRoundTrip:
+    def test_simple_round_trip(self):
+        ops = [[Compute(5), Read(0x1000), Write(0x2000), Barrier(0)],
+               [Barrier(0)]]
+        placements = [(0x1000, 128, 1)]
+        text = dump_trace(ops, placements)
+        loaded_ops, loaded_placements = load_trace(text)
+        assert loaded_ops == ops
+        assert loaded_placements == placements
+
+    def test_workload_round_trip(self):
+        build = synthetic(iterations=3, lines_per_producer=2,
+                          num_cpus=4).build()
+        text = dump_trace(build.per_cpu_ops, build.placements)
+        ops, placements = load_trace(text)
+        assert ops == build.per_cpu_ops
+        assert placements == build.placements
+
+    def test_file_round_trip(self, tmp_path):
+        build = synthetic(iterations=2, lines_per_producer=1,
+                          num_cpus=4).build()
+        path = tmp_path / "trace.txt"
+        save_trace(path, build.per_cpu_ops, build.placements)
+        ops, placements = read_trace(path)
+        assert ops == build.per_cpu_ops
+
+    def test_loaded_trace_runs(self, tmp_path):
+        build = synthetic(iterations=2, lines_per_producer=2,
+                          num_cpus=4).build()
+        path = tmp_path / "trace.txt"
+        save_trace(path, build.per_cpu_ops, build.placements)
+        ops, placements = read_trace(path)
+        result = System(baseline(num_nodes=4)).run(ops,
+                                                   placements=placements)
+        assert result.cycles > 0
+
+
+class TestErrors:
+    def test_bad_header_rejected(self):
+        with pytest.raises(SimulationError):
+            load_trace("not a trace\n")
+
+    def test_bad_line_rejected(self):
+        with pytest.raises(SimulationError):
+            load_trace("# repro-trace v1 cpus=1\nxyzzy\n")
+
+    def test_bad_op_kind_rejected(self):
+        with pytest.raises(SimulationError):
+            load_trace("# repro-trace v1 cpus=1\nq 0 5\n")
+
+    def test_unserialisable_op_rejected(self):
+        with pytest.raises(SimulationError):
+            dump_trace([["bogus"]])
+
+    def test_comments_and_blanks_ignored(self):
+        text = ("# repro-trace v1 cpus=1\n"
+                "# a comment\n"
+                "\n"
+                "c 0 7\n")
+        ops, _ = load_trace(text)
+        assert ops == [[Compute(7)]]
+
+
+class TestProperties:
+    ops_strategy = st.lists(
+        st.one_of(
+            st.builds(Compute, st.integers(1, 10_000)),
+            st.builds(Read, st.integers(0, 2 ** 40).map(lambda a: a & ~127)),
+            st.builds(Write, st.integers(0, 2 ** 40).map(lambda a: a & ~127)),
+            st.builds(Barrier, st.integers(0, 1000)),
+        ),
+        max_size=50,
+    )
+
+    @given(st.lists(ops_strategy, min_size=1, max_size=4))
+    @settings(max_examples=40, deadline=None)
+    def test_arbitrary_traces_round_trip(self, per_cpu_ops):
+        text = dump_trace(per_cpu_ops)
+        loaded, _ = load_trace(text)
+        assert loaded == per_cpu_ops

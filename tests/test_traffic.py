@@ -1,0 +1,73 @@
+"""Traffic decomposition analysis."""
+
+import pytest
+
+from repro.analysis.traffic import (
+    CLASSES,
+    TRAFFIC_CLASSES,
+    breakdown,
+    compare_breakdowns,
+)
+from repro.common import baseline, large
+from repro.harness import run_app
+from repro.network.message import MsgType
+
+
+class TestClassification:
+    def test_every_message_type_classified(self):
+        """A new MsgType without a traffic class must fail loudly."""
+        for mtype in MsgType:
+            assert mtype.label in CLASSES, mtype
+
+    def test_classes_are_known(self):
+        assert set(CLASSES.values()) == set(TRAFFIC_CLASSES)
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(KeyError):
+            breakdown({"msg.sent.MYSTERY": 1})
+
+
+class TestBreakdown:
+    def test_counts_and_bytes(self):
+        stats = {"msg.sent.GETS": 10, "msg.sent.DATA_SHARED": 10,
+                 "msg.sent.INV": 4, "msg.sent.UPDATE": 2,
+                 "other.counter": 99}
+        b = breakdown(stats)
+        assert b.messages["demand"] == 20
+        assert b.messages["coherence"] == 4
+        assert b.messages["speculation"] == 2
+        assert b.total_messages == 26
+        # GETS 32B x10 + DATA 160B x10 = 1920 demand bytes.
+        assert b.bytes["demand"] == 1920
+
+    def test_share(self):
+        b = breakdown({"msg.sent.GETS": 3, "msg.sent.NACK": 1})
+        assert b.share("demand") == pytest.approx(0.75)
+        assert b.share("flow_control") == pytest.approx(0.25)
+
+    def test_empty_stats(self):
+        b = breakdown({})
+        assert b.total_messages == 0
+        assert b.share("demand") == 0.0
+
+    def test_compare(self):
+        base = breakdown({"msg.sent.GETS": 10})
+        enh = breakdown({"msg.sent.GETS": 6, "msg.sent.UPDATE": 3})
+        delta = compare_breakdowns(base, enh)
+        assert delta["demand"] == -4
+        assert delta["speculation"] == 3
+
+
+class TestOnRealRuns:
+    def test_mechanisms_trade_demand_for_speculation(self):
+        base = breakdown(run_app("em3d", baseline(), scale=0.4).stats)
+        enh = breakdown(run_app("em3d", large(), scale=0.4).stats)
+        delta = compare_breakdowns(base, enh)
+        assert delta["demand"] < 0          # reads eliminated
+        assert delta["speculation"] > 0     # updates added
+        assert enh.total_messages < base.total_messages
+
+    def test_baseline_has_no_speculation(self):
+        base = breakdown(run_app("ocean", baseline(), scale=0.3).stats)
+        assert base.messages["speculation"] == 0
+        assert base.messages["delegation"] == 0
