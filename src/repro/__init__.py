@@ -10,7 +10,9 @@ The package provides:
   sharing signatures — :mod:`repro.workloads`;
 * an explicit-state model checker and protocol model — :mod:`repro.mc`;
 * analysis and the per-table/figure experiment harness —
-  :mod:`repro.analysis`, :mod:`repro.harness`.
+  :mod:`repro.analysis`, :mod:`repro.harness`;
+* transaction-level tracing, latency histograms and Perfetto export —
+  :mod:`repro.obs` (see ``docs/observability.md``).
 
 Quickstart::
 
@@ -34,10 +36,17 @@ from .common import (
     small,
 )
 from .harness import experiments, run_app, run_matrix
+from .obs import TraceConfig, Tracer
 from .sim import Barrier, Compute, Read, RunResult, System, Write
 from .workloads import application_names, get_workload, synthetic
 
-__version__ = "1.0.0"
+try:  # single-sourced from pyproject.toml via the installed metadata
+    from importlib.metadata import PackageNotFoundError, version as _version
+
+    __version__ = _version("repro")
+except PackageNotFoundError:  # running from a source tree, not installed
+    __version__ = "0.0.0+unknown"
+del _version, PackageNotFoundError
 
 __all__ = [
     "EVALUATED_SYSTEMS",

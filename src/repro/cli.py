@@ -14,6 +14,9 @@ Commands
     Exhaustively model-check the protocol (paper §2.5).
 ``area``
     Print the §3.3.1 SRAM budget of a configuration.
+``trace``
+    Run one application with transaction-level tracing and export a
+    Perfetto/Chrome trace or a JSONL event dump (see docs/observability.md).
 """
 
 import argparse
@@ -26,7 +29,16 @@ from .analysis.area import area_of
 from .common import params
 from .harness import experiments, run_app
 from .mc import ALL_INVARIANTS, ModelChecker, ProtocolModel
+from .obs import TraceConfig, Tracer, export_jsonl, export_perfetto
 from .workloads import application_names
+
+#: Friendly system-preset aliases accepted by ``trace`` (and only there, to
+#: keep the evaluation commands on the paper's exact Figure 7 names).
+SYSTEM_ALIASES = {
+    "pc": "dele32_rac32k",        # the paper's full producer-consumer system
+    "enhanced": "dele32_rac32k",
+    "baseline": "base",
+}
 
 EXPERIMENTS = {
     "table3": experiments.table3,
@@ -77,6 +89,34 @@ def build_parser():
     area_p = sub.add_parser("area", help="print the SRAM budget (§3.3.1)")
     area_p.add_argument("--system", default="dele32_rac32k",
                         choices=list(params.EVALUATED_SYSTEMS))
+
+    trace_p = sub.add_parser(
+        "trace", help="run one app with tracing and export the trace")
+    trace_p.add_argument("app", choices=application_names())
+    trace_p.add_argument(
+        "system", nargs="?", default="pc",
+        choices=sorted(set(params.EVALUATED_SYSTEMS) | set(SYSTEM_ALIASES)),
+        help="system preset or alias (default: pc, the full mechanism)")
+    trace_p.add_argument("--scale", type=float, default=1.0)
+    trace_p.add_argument("--seed", type=int, default=12345)
+    trace_p.add_argument("--out", default="trace.json",
+                         help="output path (default: trace.json)")
+    trace_p.add_argument("--format", choices=["perfetto", "jsonl"],
+                         default=None,
+                         help="export format (default: by --out extension; "
+                              ".jsonl -> jsonl, else perfetto)")
+    trace_p.add_argument("--sample-every", type=int, default=1, metavar="N",
+                         help="keep 1-in-N transaction spans (default: 1)")
+    trace_p.add_argument("--nodes", default=None, metavar="N,M,...",
+                         help="only record spans/events for these nodes")
+    trace_p.add_argument("--addr-range", action="append", default=None,
+                         metavar="LO:HI",
+                         help="only record this [LO, HI) byte range "
+                              "(hex ok; repeatable)")
+    trace_p.add_argument("--messages", action="store_true",
+                         help="also record every network message (large)")
+    trace_p.add_argument("--no-check", action="store_true",
+                         help="disable online coherence checking (faster)")
 
     report_p = sub.add_parser(
         "report", help="run every experiment and write a Markdown report")
@@ -166,6 +206,65 @@ def cmd_area(args):
     return 0
 
 
+def _parse_addr_ranges(specs):
+    ranges = []
+    for spec in specs:
+        try:
+            lo_text, hi_text = spec.split(":", 1)
+            ranges.append((int(lo_text, 0), int(hi_text, 0)))
+        except ValueError:
+            raise SystemExit("bad --addr-range %r (expected LO:HI)" % spec)
+    return tuple(ranges)
+
+
+def cmd_trace(args):
+    system_name = SYSTEM_ALIASES.get(args.system, args.system)
+    config = params.EVALUATED_SYSTEMS[system_name]()
+    try:
+        trace_config = TraceConfig(
+            sample_every=args.sample_every,
+            nodes=(frozenset(int(n) for n in args.nodes.split(","))
+                   if args.nodes else None),
+            addr_ranges=(_parse_addr_ranges(args.addr_range)
+                         if args.addr_range else None),
+            capture_messages=args.messages,
+        )
+    except ValueError as err:
+        raise SystemExit("repro trace: error: %s" % err)
+    tracer = Tracer(trace_config)
+    run = run_app(args.app, config, seed=args.seed, scale=args.scale,
+                  check_coherence=not args.no_check, trace=tracer)
+    fmt = args.format or ("jsonl" if args.out.endswith(".jsonl")
+                          else "perfetto")
+    if fmt == "jsonl":
+        export_jsonl(tracer, args.out)
+    else:
+        export_perfetto(tracer, args.out)
+    summary = run.obs or {}
+    counters = summary.get("counters", {})
+    rows = [
+        ["cycles", run.metrics.cycles],
+        ["spans recorded", len(tracer.spans)],
+        ["events recorded", len(tracer.events)],
+        ["misses traced (all paths)",
+         sum(h["count"] for h in summary.get("miss_latency", {}).values())],
+        ["delegations", counters.get("event.dele.accepted", 0)],
+        ["update pushes", counters.get("event.update.push", 0)],
+        ["NACKs", counters.get("event.nack", 0)],
+    ]
+    print(render_table(["metric", "value"], rows,
+                       title="%s on %s (scale %.2f) -> %s [%s]"
+                       % (args.app, system_name, args.scale, args.out, fmt)))
+    for path, hist in sorted(summary.get("miss_latency", {}).items()):
+        if hist["count"]:
+            print("  %-6s misses: n=%-7d mean=%8.1f cyc  max=%d"
+                  % (path, hist["count"], hist["mean"], hist["max"]))
+    print("open %s in https://ui.perfetto.dev (or chrome://tracing)"
+          % args.out if fmt == "perfetto" else
+          "JSONL dump: one record per line, timeline order")
+    return 0
+
+
 def cmd_report(args):
     from .analysis.report import full_report
     text = full_report(scale=args.scale, seed=args.seed)
@@ -181,6 +280,7 @@ COMMANDS = {
     "experiment": cmd_experiment,
     "verify": cmd_verify,
     "area": cmd_area,
+    "trace": cmd_trace,
     "report": cmd_report,
 }
 

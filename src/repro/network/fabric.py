@@ -29,10 +29,11 @@ class _HubPort:
 class Fabric:
     """Connects hubs; delivers messages with latency + port contention."""
 
-    def __init__(self, config, events, stats):
+    def __init__(self, config, events, stats, tracer=None):
         self.config = config
         self.events = events
         self.stats = stats
+        self.tracer = tracer
         self.topology = FatTree(config.num_nodes, config.network)
         self._ports = [_HubPort(config.network.hub_occupancy)
                        for _ in range(config.num_nodes)]
@@ -52,6 +53,8 @@ class Fabric:
         counting as network traffic.
         """
         remote = msg.src != msg.dst
+        if self.tracer is not None:
+            self.tracer.msg_send(msg, self.events.now, remote)
         if remote:
             self.stats.inc(MSG_SENT + msg.mtype.label)
             self.stats.inc(

@@ -1,0 +1,160 @@
+"""Streaming observability metrics: counters and fixed-bucket histograms.
+
+Unlike :class:`repro.common.stats.Stats` — the simulator's terminal
+counters — these metrics keep *distributions*: miss latency by hop class,
+NACK/retry counts per transaction, and intervention-delay occupancy.
+Everything is streaming (O(1) memory per histogram) so full-scale runs can
+keep metrics on even when span recording is sampled down.
+
+Bucket boundaries are fixed at construction; a value lands in the first
+bucket whose upper bound is >= the value, with one overflow bucket at the
+end.  Fixed buckets keep the summary deterministic and mergeable.
+"""
+
+import bisect
+from collections import defaultdict
+
+
+def exponential_bounds(start, factor, count):
+    """``count`` ascending bucket upper bounds growing by ``factor``.
+
+    ``exponential_bounds(50, 2, 4)`` -> ``(50, 100, 200, 400)``.
+    """
+    if start <= 0 or factor <= 1 or count < 1:
+        raise ValueError("need start > 0, factor > 1, count >= 1")
+    bounds = []
+    value = start
+    for _ in range(count):
+        bounds.append(value)
+        value = value * factor
+    return tuple(bounds)
+
+
+class Histogram:
+    """A fixed-bucket histogram with streaming count/sum/min/max.
+
+    ``bounds`` are ascending inclusive upper bounds; values above the last
+    bound fall into a final overflow bucket.
+    """
+
+    def __init__(self, bounds):
+        bounds = tuple(bounds)
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if list(bounds) != sorted(set(bounds)):
+            raise ValueError("bucket bounds must be strictly ascending")
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.total = 0
+        self.min = None
+        self.max = None
+
+    def bucket_of(self, value):
+        """Index of the bucket ``value`` falls into (last = overflow)."""
+        return bisect.bisect_left(self.bounds, value)
+
+    def record(self, value):
+        self.counts[self.bucket_of(value)] += 1
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self):
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, fraction):
+        """Upper bound of the bucket containing the ``fraction`` quantile.
+
+        Returns None on an empty histogram, and the recorded maximum for
+        quantiles landing in the overflow bucket.
+        """
+        if not self.count:
+            return None
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must be in [0, 1]")
+        threshold = fraction * self.count
+        seen = 0
+        for index, bucket_count in enumerate(self.counts):
+            seen += bucket_count
+            if seen >= threshold and bucket_count:
+                if index >= len(self.bounds):
+                    return self.max
+                return self.bounds[index]
+        return self.max
+
+    def to_dict(self):
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+    def __repr__(self):
+        return "Histogram(n=%d, mean=%.1f)" % (self.count, self.mean)
+
+
+#: Default miss-latency buckets, in cycles: one network hop is 100 cycles
+#: and DRAM is 200, so the interesting range is ~10 (local hit) to a few
+#: thousand (NACK/retry storms).
+MISS_LATENCY_BOUNDS = exponential_bounds(25, 2, 10)  # 25 .. 12800
+
+#: Retry counts per transaction: most misses retry 0 times; delegation
+#: races produce small bursts.
+RETRY_BOUNDS = (0, 1, 2, 4, 8, 16, 32, 64)
+
+#: Intervention-delay occupancy (cycles armed before firing/cancelling).
+OCCUPANCY_BOUNDS = exponential_bounds(25, 2, 8)  # 25 .. 3200
+
+
+class ObsMetrics:
+    """All streaming metrics one traced run produces.
+
+    * ``miss_latency[path]`` — latency histogram per hop class
+      (``local`` / ``2hop`` / ``3hop``), fed by every completed miss.
+    * ``retries`` — NACK-retry count per completed transaction.
+    * ``intervention_occupancy`` — cycles a delayed intervention stayed
+      armed before firing or being cancelled/superseded.
+    * ``counters`` — streaming event counters (``span.*``, ``event.*``).
+    """
+
+    PATHS = ("local", "2hop", "3hop")
+
+    def __init__(self):
+        self.miss_latency = {path: Histogram(MISS_LATENCY_BOUNDS)
+                             for path in self.PATHS}
+        self.retries = Histogram(RETRY_BOUNDS)
+        self.intervention_occupancy = Histogram(OCCUPANCY_BOUNDS)
+        self.counters = defaultdict(int)
+
+    def inc(self, name, amount=1):
+        self.counters[name] += amount
+
+    def record_miss(self, path, latency, retries):
+        hist = self.miss_latency.get(path)
+        if hist is None:  # unknown path class: count it, don't crash the run
+            self.inc("miss.unknown_path")
+            return
+        hist.record(latency)
+        self.retries.record(retries)
+
+    def record_occupancy(self, cycles):
+        self.intervention_occupancy.record(cycles)
+
+    def summary(self):
+        """A plain-dict snapshot for ``RunResult.extras["obs"]``."""
+        return {
+            "miss_latency": {path: hist.to_dict()
+                             for path, hist in self.miss_latency.items()},
+            "retries": self.retries.to_dict(),
+            "intervention_occupancy": self.intervention_occupancy.to_dict(),
+            "counters": dict(sorted(self.counters.items())),
+        }

@@ -1,0 +1,266 @@
+"""Transaction-level tracer for the coherence simulator.
+
+The tracer records two kinds of things:
+
+* **Transaction spans** — one per processor miss, from issue to grant,
+  with every (re)issue attempt, every NACK, the final path class
+  (local / 2-hop / 3-hop) and retry count.  Delegation lifetimes
+  (DELEGATE accepted → UNDELE sent) and CPU stall windows are spans too.
+* **Point events** — delegation initiation/decline, undelegation,
+  speculative-update pushes and receipts, RAC hits, intervention
+  arm/fire/cancel, and (optionally) every network message.
+
+The simulator's hot paths guard every call with ``if tracer is not None``,
+so a disabled tracer (the default) costs one attribute load and a branch —
+the no-op fast path.  When enabled, *metrics* (histograms, counters — see
+:class:`repro.obs.metrics.ObsMetrics`) are always full-fidelity, while
+span/event *records* obey the sampling controls in :class:`TraceConfig`:
+restrict by node, by address range, or keep 1-in-N transactions.
+
+All record fields come from the deterministic simulation (cycle times,
+node ids, tracer-local sequence numbers), so a trace of a given
+(workload, config, seed) is byte-identical across runs.
+"""
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from .metrics import ObsMetrics
+
+
+@dataclass(frozen=True)
+class TraceConfig:
+    """Sampling and capture controls for a :class:`Tracer`.
+
+    ``sample_every`` keeps 1-in-N transaction spans (1 = keep all);
+    ``nodes`` restricts records to these requester nodes; ``addr_ranges``
+    is an iterable of ``(start, end)`` half-open byte ranges.  Filters
+    apply to span/event records only — metrics always see everything.
+    ``capture_messages`` additionally records one event per network
+    message (large; best combined with address filters).
+    """
+
+    sample_every: int = 1
+    nodes: Optional[frozenset] = None
+    addr_ranges: Optional[Tuple[Tuple[int, int], ...]] = None
+    capture_messages: bool = False
+
+    def __post_init__(self):
+        if self.sample_every < 1:
+            raise ValueError("sample_every must be >= 1")
+        if self.nodes is not None:
+            object.__setattr__(self, "nodes", frozenset(self.nodes))
+        if self.addr_ranges is not None:
+            ranges = tuple((int(lo), int(hi)) for lo, hi in self.addr_ranges)
+            for lo, hi in ranges:
+                if hi <= lo:
+                    raise ValueError("empty address range [%#x, %#x)" % (lo, hi))
+            object.__setattr__(self, "addr_ranges", ranges)
+
+
+@dataclass
+class Span:
+    """One traced interval on a node's timeline."""
+
+    sid: int                 # tracer-local id, stable across same-seed runs
+    kind: str                # "miss.read" / "miss.write" / "delegation" / "cpu.stall"
+    node: int
+    addr: int
+    start: int
+    end: Optional[int] = None
+    outcome: Optional[str] = None   # path class, undelegation reason, ...
+    retries: int = 0
+    attempts: List[dict] = field(default_factory=list)  # issue/reissue hops
+    nacks: List[dict] = field(default_factory=list)
+    args: dict = field(default_factory=dict)
+
+    @property
+    def duration(self):
+        return None if self.end is None else self.end - self.start
+
+
+@dataclass
+class Event:
+    """One traced point-in-time occurrence."""
+
+    eid: int
+    name: str
+    node: int
+    addr: int
+    ts: int
+    args: dict = field(default_factory=dict)
+
+
+class Tracer:
+    """Collects spans, events and metrics for one simulation run."""
+
+    def __init__(self, config=None):
+        self.config = config if config is not None else TraceConfig()
+        self.metrics = ObsMetrics()
+        self.spans = []
+        self.events = []
+        self._seq = 0
+        self._txn_count = 0           # all transactions, for 1-in-N sampling
+        self._miss_spans = {}         # node -> Span | None (None = unsampled)
+        self._dele_spans = {}         # (node, addr) -> Span
+        self._armed = {}              # (node, addr) -> armed-at cycle
+        self.finalized_at = None
+
+    # -- sampling -----------------------------------------------------------
+
+    def _in_filters(self, node, addr):
+        cfg = self.config
+        if cfg.nodes is not None and node not in cfg.nodes:
+            return False
+        if cfg.addr_ranges is not None:
+            return any(lo <= addr < hi for lo, hi in cfg.addr_ranges)
+        return True
+
+    def _sample_txn(self, node, addr):
+        self._txn_count += 1
+        if not self._in_filters(node, addr):
+            return False
+        return (self._txn_count - 1) % self.config.sample_every == 0
+
+    def _next_id(self):
+        self._seq += 1
+        return self._seq
+
+    # -- transaction spans (requester side) ---------------------------------
+
+    def miss_begin(self, node, addr, kind, now):
+        self.metrics.inc("span.miss.%s" % kind)
+        if not self._sample_txn(node, addr):
+            self._miss_spans[node] = None
+            return
+        self._miss_spans[node] = Span(
+            sid=self._next_id(), kind="miss.%s" % kind, node=node,
+            addr=addr, start=now)
+
+    def miss_issue(self, node, addr, now, target, mtype):
+        span = self._miss_spans.get(node)
+        if span is not None and span.addr == addr:
+            span.attempts.append({"ts": now, "target": target,
+                                  "mtype": mtype})
+
+    def miss_nack(self, node, addr, now, reason="nack"):
+        self.metrics.inc("event.nack")
+        span = self._miss_spans.get(node)
+        if span is not None and span.addr == addr:
+            span.nacks.append({"ts": now, "reason": reason})
+
+    def miss_end(self, node, addr, now, path, retries, start_time):
+        self.metrics.record_miss(path, now - start_time, retries)
+        span = self._miss_spans.pop(node, None)
+        if span is not None and span.addr == addr:
+            span.end = now
+            span.outcome = path
+            span.retries = retries
+            self.spans.append(span)
+
+    # -- delegation lifetime spans (producer side) --------------------------
+
+    def delegation_begin(self, node, addr, now):
+        self.metrics.inc("event.dele.accepted")
+        if not self._in_filters(node, addr):
+            return
+        self._dele_spans[(node, addr)] = Span(
+            sid=self._next_id(), kind="delegation", node=node, addr=addr,
+            start=now)
+
+    def delegation_end(self, node, addr, now, reason):
+        self.metrics.inc("event.dele.undelegate.%s" % reason)
+        span = self._dele_spans.pop((node, addr), None)
+        if span is not None:
+            span.end = now
+            span.outcome = reason
+            self.spans.append(span)
+
+    # -- CPU stall spans ----------------------------------------------------
+
+    def cpu_stall(self, node, addr, kind, start, end):
+        """One completed CPU block window (miss start -> load/store replay)."""
+        self.metrics.inc("span.cpu_stall")
+        if not self._in_filters(node, addr):
+            return
+        self.spans.append(Span(
+            sid=self._next_id(), kind="cpu.stall", node=node, addr=addr,
+            start=start, end=end, outcome=kind))
+
+    # -- point events -------------------------------------------------------
+
+    def event(self, name, node, addr, now, **args):
+        self.metrics.inc("event.%s" % name)
+        if not self._in_filters(node, addr):
+            return
+        self.events.append(Event(eid=self._next_id(), name=name, node=node,
+                                 addr=addr, ts=now, args=args))
+
+    def rac_hit(self, node, addr, now, kind):
+        self.event("rac.hit", node, addr, now, kind=kind)
+
+    def rac_miss(self, node, addr, now):
+        self.event("rac.miss", node, addr, now)
+
+    def update_push(self, node, addr, now, targets, pruned):
+        self.event("update.push", node, addr, now, targets=targets,
+                   pruned=pruned)
+
+    def update_recv(self, node, addr, now, src, outcome):
+        self.event("update.recv", node, addr, now, src=src, outcome=outcome)
+
+    # -- delayed-intervention occupancy -------------------------------------
+
+    def intervention_armed(self, node, addr, now):
+        previous = self._armed.get((node, addr))
+        if previous is not None:
+            # Re-armed before firing: the old arm is superseded.
+            self.metrics.record_occupancy(now - previous)
+            self.metrics.inc("event.intervention.superseded")
+        self._armed[(node, addr)] = now
+        self.event("intervention.armed", node, addr, now)
+
+    def intervention_resolved(self, node, addr, now, outcome):
+        """``outcome`` is ``fired`` / ``cancelled`` / ``abandoned``.
+
+        A resolution with no matching armed record (e.g. a cancel after
+        the intervention already fired) is ignored.
+        """
+        armed_at = self._armed.pop((node, addr), None)
+        if armed_at is None:
+            return
+        self.metrics.record_occupancy(now - armed_at)
+        self.event("intervention.%s" % outcome, node, addr, now)
+
+    # -- network messages (optional, heavy) ---------------------------------
+
+    def msg_send(self, msg, now, remote):
+        if not self.config.capture_messages:
+            return
+        self.event("msg.send", msg.src, msg.addr, now, dst=msg.dst,
+                   mtype=msg.mtype.label, remote=remote)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def finalize(self, now):
+        """Close the run: flush still-open spans as unfinished records."""
+        self.finalized_at = now
+        for node in sorted(self._miss_spans):
+            span = self._miss_spans[node]
+            if span is not None:
+                span.outcome = "unfinished"
+                self.spans.append(span)
+        self._miss_spans.clear()
+        for key in sorted(self._dele_spans):
+            span = self._dele_spans[key]
+            span.outcome = "still-delegated"
+            self.spans.append(span)
+        self._dele_spans.clear()
+        self._armed.clear()
+
+    def sorted_records(self):
+        """All spans and events in deterministic timeline order."""
+        records = [(span.start, span.sid, span) for span in self.spans]
+        records += [(evt.ts, evt.eid, evt) for evt in self.events]
+        records.sort(key=lambda item: (item[0], item[1]))
+        return [record for _, _, record in records]

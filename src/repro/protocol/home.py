@@ -284,6 +284,9 @@ class HomeMixin:
         """Figure 4a: pack directory info and data into a DELEGATE message
         that doubles as the producer's exclusive reply."""
         self.stats.inc(S.DELEGATIONS)
+        if self.tracer is not None:
+            self.tracer.event("dele.initiate", self.node, entry.addr,
+                              self.events.now, producer=producer)
         snapshot = {
             "state": DirState.EXCL,
             "owner": producer,
@@ -314,6 +317,9 @@ class HomeMixin:
     def _on_undele(self, msg):
         """The producer returned directory authority (any undelegation)."""
         entry = self.home_memory.entry(msg.addr)
+        if self.tracer is not None:
+            self.tracer.event("dele.returned", self.node, msg.addr,
+                              self.events.now, producer=msg.src)
         pending = entry.busy  # capture before restore() clears it
         entry.restore(msg.payload["dir"])
         entry.value = msg.value

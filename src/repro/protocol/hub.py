@@ -43,6 +43,7 @@ class Hub(RequesterMixin, HomeMixin, ProducerMixin):
         self.stats = system.stats
         self.address_map = system.address_map
         self.checker = getattr(system, "checker", None)
+        self.tracer = getattr(system, "tracer", None)
 
         protocol = self.config.protocol
         self.hierarchy = PrivateCacheHierarchy(self.config)

@@ -36,11 +36,16 @@ class ProducerMixin:
                 "DELEGATE without an outstanding write miss: %r" % msg)
         if self._accept_delegation(addr, snapshot, msg.value):
             self.stats.inc("dele.accepted")
+            if self.tracer is not None:
+                self.tracer.delegation_begin(self.node, addr, self.events.now)
         else:
             # No room to act as home: take the exclusive grant but hand the
             # directory straight back (an accept-and-immediately-undelegate).
             self.stats.inc("dele.declined")
             self.stats.inc(S.UNDELEGATIONS + "declined")
+            if self.tracer is not None:
+                self.tracer.event("dele.declined", self.node, addr,
+                                  self.events.now)
             self.send(Message(
                 MsgType.UNDELE, src=self.node, dst=msg.src, addr=addr,
                 value=msg.value,
@@ -203,6 +208,9 @@ class ProducerMixin:
             raise self._protocol_error(
                 "undelegating busy line 0x%x (%s)" % (addr, reason))
         self.stats.inc(S.UNDELEGATIONS + reason)
+        if self.tracer is not None:
+            self.tracer.delegation_end(self.node, addr, self.events.now,
+                                       reason)
         self._cancel_intervention(addr)
         notice = self.hierarchy.evict(addr)
         rac_line = self.rac.invalidate(addr)
@@ -236,24 +244,34 @@ class ProducerMixin:
         write burst is over and push the data out."""
         epoch = self._intervention_epoch.get(addr, 0) + 1
         self._intervention_epoch[addr] = epoch
+        if self.tracer is not None:
+            self.tracer.intervention_armed(self.node, addr, self.events.now)
         self.events.schedule(self.config.protocol.intervention_delay,
                              self._fire_intervention, addr, epoch)
 
     def _cancel_intervention(self, addr):
         if addr in self._intervention_epoch:
             self._intervention_epoch[addr] += 1
+            if self.tracer is not None:
+                self.tracer.intervention_resolved(
+                    self.node, addr, self.events.now, "cancelled")
 
     def _fire_intervention(self, addr, epoch):
         if self._intervention_epoch.get(addr) != epoch:
             return
         entry = self._acting_home_entry(addr)
-        if entry is None or entry.busy is not None:
-            return
-        if entry.state is not DirState.EXCL or entry.owner != self.node:
-            return
-        if not self.hierarchy.state_of(addr).writable:
+        if (entry is None or entry.busy is not None
+                or entry.state is not DirState.EXCL
+                or entry.owner != self.node
+                or not self.hierarchy.state_of(addr).writable):
+            if self.tracer is not None:
+                self.tracer.intervention_resolved(self.node, addr,
+                                                  self.events.now, "abandoned")
             return
         self.stats.inc(S.INTERVENTIONS)
+        if self.tracer is not None:
+            self.tracer.intervention_resolved(self.node, addr,
+                                              self.events.now, "fired")
         value = self.hierarchy.downgrade(addr)
         delegated = (self.producer_table is not None
                      and addr in self.producer_table)
@@ -268,6 +286,9 @@ class ProducerMixin:
         pruned = len(consumers) - len(targets)
         if pruned:
             self.stats.inc("update.pruned", pruned)
+        if self.tracer is not None:
+            self.tracer.update_push(self.node, addr, self.events.now,
+                                    targets=len(targets), pruned=pruned)
         entry.value = value
         entry.state = DirState.SHARED
         entry.owner = None
@@ -328,12 +349,21 @@ class ProducerMixin:
             # the in-flight reply (carrying the same data) completes the
             # miss moments later — every request keeps exactly one response.
             self.stats.inc("update.rendezvous")
+            if self.tracer is not None:
+                self.tracer.update_recv(self.node, addr, self.events.now,
+                                        msg.src, "rendezvous")
             if self.rac is not None:
                 self.rac.insert_update(addr, msg.value)
             return
         if self.hierarchy.state_of(addr).readable:
             self.stats.inc("update.stale")
+            if self.tracer is not None:
+                self.tracer.update_recv(self.node, addr, self.events.now,
+                                        msg.src, "stale")
             return
+        if self.tracer is not None:
+            self.tracer.update_recv(self.node, addr, self.events.now,
+                                    msg.src, "accepted")
         if self.rac is not None:
             self.rac.insert_update(addr, msg.value)
 

@@ -43,10 +43,16 @@ class RequesterMixin:
         miss = OutstandingMiss(addr=addr, kind=kind, callback=callback,
                                store_value=value, start_time=self.events.now)
         self.miss = miss
+        if self.tracer is not None:
+            self.tracer.miss_begin(self.node, addr, kind.value,
+                                   self.events.now)
         if kind is MissKind.READ and self.rac is not None:
             rac_line = self.rac.lookup_data(addr)
             if rac_line is not None:
                 self.stats.inc(S.HIT_RAC)
+                if self.tracer is not None:
+                    self.tracer.rac_hit(self.node, addr, self.events.now,
+                                        rac_line.kind.value)
                 if rac_line.kind is RacKind.UPDATE:
                     self.stats.inc(S.HIT_RAC_UPDATE)
                 miss.granted = True
@@ -56,6 +62,8 @@ class RequesterMixin:
                 self.events.schedule(self.rac.latency, self._complete_miss,
                                      miss, PathClass.LOCAL)
                 return
+            if self.tracer is not None:
+                self.tracer.rac_miss(self.node, addr, self.events.now)
         self._issue_miss(miss)
 
     def _issue_miss(self, miss):
@@ -73,6 +81,9 @@ class RequesterMixin:
             mtype = MsgType.GETX
         else:
             mtype = MsgType.GETS
+        if self.tracer is not None:
+            self.tracer.miss_issue(self.node, miss.addr, self.events.now,
+                                   target, mtype.label)
         self.send(Message(mtype, src=self.node, dst=target, addr=miss.addr,
                           payload=payload))
 
@@ -165,6 +176,9 @@ class RequesterMixin:
         miss.done = True
         self.miss = None
         self._account_miss(path)
+        if self.tracer is not None:
+            self.tracer.miss_end(self.node, miss.addr, self.events.now,
+                                 path.value, miss.retries, miss.start_time)
         if miss.kind is MissKind.WRITE and self.rac is not None:
             # Any RAC copy of a line we now own exclusively is stale; pinned
             # delegated entries are refreshed by the delayed intervention.
@@ -252,10 +266,13 @@ class RequesterMixin:
         miss = self._active_miss(msg.addr)
         if miss is None:
             return
-        self._retry_miss(miss)
+        self._retry_miss(miss, reason="stale_hint")
 
-    def _retry_miss(self, miss):
+    def _retry_miss(self, miss, reason="nack"):
         self.stats.inc(S.NACKS)
+        if self.tracer is not None:
+            self.tracer.miss_nack(self.node, miss.addr, self.events.now,
+                                  reason)
         miss.retries += 1
         if miss.retries > self.config.protocol.max_retries:
             raise self._protocol_error(

@@ -46,12 +46,13 @@ class RunResult:
 class System:
     """A ``num_nodes``-node cc-NUMA machine ready to execute one workload."""
 
-    def __init__(self, config, check_coherence=True):
+    def __init__(self, config, check_coherence=True, tracer=None):
         self.config = config
         self.events = EventQueue()
         self.stats = Stats()
+        self.tracer = tracer  # None = tracing disabled (the no-op fast path)
         self.address_map = AddressMap(config.num_nodes)
-        self.fabric = Fabric(config, self.events, self.stats)
+        self.fabric = Fabric(config, self.events, self.stats, tracer=tracer)
         self.checker = CoherenceChecker(self) if check_coherence else None
         self.hubs = [Hub(node, self) for node in range(config.num_nodes)]
         self.processors = []
@@ -96,10 +97,14 @@ class System:
                 % (self.events.now, self._unfinished,
                    {p.node: p.describe() for p in self.processors
                     if not p.finished}))
-        return RunResult(
+        result = RunResult(
             cycles=max(p.finish_time for p in self.processors),
             stats=self.stats.as_dict(),
             cpu_finish_times=[p.finish_time for p in self.processors],
             ops_executed=sum(p.ops_executed for p in self.processors),
             events_processed=self.events.processed,
         )
+        if self.tracer is not None:
+            self.tracer.finalize(self.events.now)
+            result.extras["obs"] = self.tracer.metrics.summary()
+        return result

@@ -86,6 +86,7 @@ class TestParser:
 
 
 class TestReport:
+    @pytest.mark.slow
     def test_report_written(self, tmp_path, capsys):
         out = tmp_path / "report.md"
         from repro.cli import main as cli_main

@@ -94,6 +94,7 @@ class TestExperiments:
         points = out["measured"]
         assert points[-1]["speedup"] > points[0]["speedup"]
 
+    @pytest.mark.slow
     def test_figure12_appbt_gains_from_bigger_rac(self):
         out = experiments.figure12(scale=0.5, rac_kb=(32, 1024))
         points = out["measured"]

@@ -67,6 +67,7 @@ class TestAppSignatures:
                     for app in application_names()}
         assert speedups["cg"] <= min(speedups["em3d"], speedups["lu"])
 
+    @pytest.mark.slow
     def test_mg_is_delegate_cache_limited(self):
         """MG: 1K-entry tables recover more than the small config.  The
         capacity pressure only exists at full problem size."""
@@ -75,6 +76,7 @@ class TestAppSignatures:
         large_m = run_app("mg", large()).metrics
         assert base.cycles / large_m.cycles > base.cycles / small_m.cycles
 
+    @pytest.mark.slow
     def test_appbt_is_rac_limited(self):
         base = run_app("appbt", baseline()).metrics
         small_m = run_app("appbt", small()).metrics

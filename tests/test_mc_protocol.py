@@ -62,6 +62,7 @@ class TestDelegationProtocol:
         assert any(label.startswith("update_") for label in result.rule_counts)
         assert result.states_explored > 1000
 
+    @pytest.mark.slow
     def test_two_consumers_verify(self):
         model = ProtocolModel(num_nodes=4, writers=(1,), readers=(2, 3))
         result = check(model)
@@ -75,6 +76,7 @@ class TestDelegationProtocol:
         labels = set(result.rule_counts)
         assert labels & {"undele_req_1", "undele_req_gone", "undele_req_busy"}
 
+    @pytest.mark.slow
     def test_deferred_undelegation_explored(self):
         """The update-ack gate the checker originally motivated."""
         model = ProtocolModel(num_nodes=4, writers=(1, 3), readers=(2,))

@@ -1,5 +1,7 @@
 """The Markdown report generator behind EXPERIMENTS.md."""
 
+import pytest
+
 from repro.analysis.report import (
     figure7_section,
     full_report,
@@ -21,6 +23,7 @@ class TestSections:
 
 
 class TestFullReport:
+    @pytest.mark.slow
     def test_full_report_structure(self):
         # Tiny scale: this runs every experiment once.
         report = full_report(scale=0.2)
