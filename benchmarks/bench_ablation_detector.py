@@ -12,7 +12,7 @@ applications that stress detection the most:
 
 from repro.analysis import render_table
 from repro.common import large
-from repro.harness import run_app
+from repro.harness import SweepJob
 from repro.common import params
 
 from conftest import run_once
@@ -20,19 +20,25 @@ from conftest import run_once
 APPS = ("cg", "barnes")
 
 
-def sweep(scale):
+def sweep(scale, engine):
     variants = {
         "aggressive (1-bit)": large().with_protocol(write_repeat_bits=1),
         "paper (2-bit)": large(),
         "conservative (3-bit)": large().with_protocol(write_repeat_bits=3),
         "multiwriter": large().with_protocol(detector_kind="multiwriter"),
     }
+    jobs = {(app, "base"): SweepJob(app=app, config=params.baseline(),
+                                    scale=scale)
+            for app in APPS}
+    jobs.update({(app, name): SweepJob(app=app, config=config, scale=scale)
+                 for app in APPS for name, config in variants.items()})
+    runs = engine.run_many(jobs)
     out = {}
     for app in APPS:
-        base = run_app(app, params.baseline(), scale=scale).metrics
+        base = runs[(app, "base")].metrics
         rows = {}
-        for name, config in variants.items():
-            m = run_app(app, config, scale=scale).metrics
+        for name in variants:
+            m = runs[(app, name)].metrics
             rows[name] = {
                 "speedup": base.cycles / m.cycles,
                 "delegations": m.delegations,
@@ -44,8 +50,8 @@ def sweep(scale):
     return out
 
 
-def test_detector_ablation(benchmark, bench_scale):
-    out = run_once(benchmark, sweep, bench_scale)
+def test_detector_ablation(benchmark, bench_scale, bench_engine):
+    out = run_once(benchmark, sweep, bench_scale, bench_engine)
     for app, rows in out.items():
         table = [[name, r["speedup"], r["delegations"], r["undelegations"],
                   r["wasted"], "%.0f%%" % (100 * r["accuracy"])]

@@ -12,7 +12,7 @@ from dataclasses import replace
 from repro.analysis import render_table
 from repro.common import baseline, large
 from repro.directory.formats import DirectoryFormat
-from repro.harness import run_app
+from repro.harness import SweepJob
 
 from conftest import run_once
 
@@ -20,15 +20,23 @@ FORMATS = ("full", "coarse:4", "limited:2")
 APPS = ("appbt", "lu")
 
 
-def sweep(scale):
+def sweep(scale, engine):
+    jobs = {}
+    for app in APPS:
+        for spec in FORMATS:
+            jobs[(app, spec, "base")] = SweepJob(
+                app=app, config=replace(baseline(), directory_format=spec),
+                scale=scale)
+            jobs[(app, spec, "enh")] = SweepJob(
+                app=app, config=replace(large(), directory_format=spec),
+                scale=scale)
+    runs = engine.run_many(jobs)
     out = {}
     for app in APPS:
         rows = {}
         for spec in FORMATS:
-            base_cfg = replace(baseline(), directory_format=spec)
-            enh_cfg = replace(large(), directory_format=spec)
-            base = run_app(app, base_cfg, scale=scale).metrics
-            enh = run_app(app, enh_cfg, scale=scale).metrics
+            base = runs[(app, spec, "base")].metrics
+            enh = runs[(app, spec, "enh")].metrics
             rows[spec] = {
                 "speedup": base.cycles / enh.cycles,
                 "base_msgs": base.messages,
@@ -39,8 +47,8 @@ def sweep(scale):
     return out
 
 
-def test_directory_format_ablation(benchmark, bench_scale):
-    out = run_once(benchmark, sweep, bench_scale)
+def test_directory_format_ablation(benchmark, bench_scale, bench_engine):
+    out = run_once(benchmark, sweep, bench_scale, bench_engine)
     for app, rows in out.items():
         table = [[spec, r["bits"], r["speedup"], r["base_msgs"],
                   r["enh_msgs"]] for spec, r in rows.items()]

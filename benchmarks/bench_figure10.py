@@ -11,8 +11,9 @@ from repro.harness import experiments
 from conftest import run_once
 
 
-def test_figure10(benchmark, bench_scale):
-    out = run_once(benchmark, experiments.figure10, scale=bench_scale)
+def test_figure10(benchmark, bench_scale, bench_engine):
+    out = run_once(benchmark, experiments.figure10, scale=bench_scale,
+                   engine=bench_engine)
     print()
     print(out["text"])
     points = out["measured"]

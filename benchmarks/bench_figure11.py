@@ -10,8 +10,9 @@ from repro.harness import experiments
 from conftest import run_once
 
 
-def test_figure11(benchmark, bench_scale):
-    out = run_once(benchmark, experiments.figure11, scale=bench_scale)
+def test_figure11(benchmark, bench_scale, bench_engine):
+    out = run_once(benchmark, experiments.figure11, scale=bench_scale,
+                   engine=bench_engine)
     print()
     print(out["text"])
     points = out["measured"]

@@ -14,8 +14,9 @@ from repro.harness import experiments
 from conftest import run_once
 
 
-def test_figure7(benchmark, bench_scale):
-    out = run_once(benchmark, experiments.figure7, scale=bench_scale)
+def test_figure7(benchmark, bench_scale, bench_engine):
+    out = run_once(benchmark, experiments.figure7, scale=bench_scale,
+                   engine=bench_engine)
     print()
     print(out["text"])
     print("\nPaper speedups (small / large):")

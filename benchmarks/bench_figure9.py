@@ -14,9 +14,9 @@ from conftest import run_once
 DELAYS = (5, 50, 500, 5_000, 50_000, 500_000, 5_000_000)
 
 
-def test_figure9(benchmark, bench_scale):
+def test_figure9(benchmark, bench_scale, bench_engine):
     out = run_once(benchmark, experiments.figure9, scale=bench_scale,
-                   delays=DELAYS)
+                   delays=DELAYS, engine=bench_engine)
     print()
     print(out["text"])
     for app, points in out["measured"].items():

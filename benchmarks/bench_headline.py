@@ -11,8 +11,9 @@ from repro.harness import experiments
 from conftest import run_once
 
 
-def test_headline(benchmark, bench_scale):
-    out = run_once(benchmark, experiments.headline, scale=bench_scale)
+def test_headline(benchmark, bench_scale, bench_engine):
+    out = run_once(benchmark, experiments.headline, scale=bench_scale,
+                   engine=bench_engine)
     print()
     print(out["text"])
     small_sp, small_traffic, small_miss = out["measured"]["small"]
@@ -32,8 +33,9 @@ def test_headline(benchmark, bench_scale):
     assert large_traffic > 0.08
 
 
-def test_delegation_only_ablation(benchmark, bench_scale):
-    out = run_once(benchmark, experiments.delegation_only, scale=bench_scale)
+def test_delegation_only_ablation(benchmark, bench_scale, bench_engine):
+    out = run_once(benchmark, experiments.delegation_only,
+                   scale=bench_scale, engine=bench_engine)
     print()
     print(out["text"])
     # Paper: converting 3-hop to 2-hop roughly balances delegation

@@ -9,8 +9,9 @@ from repro.harness import experiments
 from conftest import run_once
 
 
-def test_table3(benchmark, bench_scale):
-    out = run_once(benchmark, experiments.table3, scale=bench_scale)
+def test_table3(benchmark, bench_scale, bench_engine):
+    out = run_once(benchmark, experiments.table3, scale=bench_scale,
+                   engine=bench_engine)
     print()
     print(out["text"])
     print("\nPaper values for comparison:")

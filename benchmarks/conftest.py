@@ -3,17 +3,29 @@
 Each bench regenerates one paper table/figure at full workload scale and
 prints the regenerated rows next to the paper's values.  Set
 ``REPRO_BENCH_SCALE`` (e.g. ``0.5``) to shrink workloads for a faster,
-directional pass.
+directional pass, ``REPRO_BENCH_JOBS`` to fan each artefact's simulations
+over worker processes, and ``REPRO_BENCH_CACHE=1`` to replay finished
+simulations from the on-disk cache (see :mod:`repro.harness.sweep`).
 """
 
 import os
 
 import pytest
 
+from repro.harness import SweepEngine
+
 
 @pytest.fixture(scope="session")
 def bench_scale():
     return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+@pytest.fixture(scope="session")
+def bench_engine():
+    """Sweep engine shared by every artefact bench in the session."""
+    return SweepEngine(
+        jobs=int(os.environ.get("REPRO_BENCH_JOBS", "1")),
+        cache=os.environ.get("REPRO_BENCH_CACHE", "") == "1")
 
 
 def run_once(benchmark, func, *args, **kwargs):

@@ -17,9 +17,17 @@ Commands
 ``trace``
     Run one application with transaction-level tracing and export a
     Perfetto/Chrome trace or a JSONL event dump (see docs/observability.md).
+``sweep``
+    Regenerate one paper artefact through the parallel sweep engine:
+    fan the simulations out over ``--jobs`` worker processes, replay
+    finished ones from the on-disk cache, and optionally emit a
+    pytest-benchmark-compatible timing record (see docs/performance.md).
 """
 
 import argparse
+import json
+import os
+import platform
 import sys
 import time
 
@@ -28,6 +36,8 @@ from .analysis import render_table
 from .analysis.area import area_of
 from .common import params
 from .harness import experiments, run_app
+from .harness import sweep as sweep_mod
+from .harness.sweep import SweepEngine, SweepProgress
 from .mc import ALL_INVARIANTS, ModelChecker, ProtocolModel
 from .obs import TraceConfig, Tracer, export_jsonl, export_perfetto
 from .workloads import application_names
@@ -123,6 +133,31 @@ def build_parser():
     report_p.add_argument("--output", default="EXPERIMENTS.md")
     report_p.add_argument("--scale", type=float, default=1.0)
     report_p.add_argument("--seed", type=int, default=12345)
+    report_p.add_argument("--jobs", type=int, default=1, metavar="N",
+                          help="worker processes for the simulations "
+                               "(default: 1, serial)")
+    report_p.add_argument("--no-cache", action="store_true",
+                          help="do not read or write the on-disk result "
+                               "cache")
+    report_p.add_argument("--cache-dir", default=sweep_mod.CACHE_DIR)
+
+    sweep_p = sub.add_parser(
+        "sweep", help="regenerate an artefact via the parallel sweep engine")
+    sweep_p.add_argument("name", choices=sorted(EXPERIMENTS))
+    sweep_p.add_argument("--jobs", type=int, default=None, metavar="N",
+                         help="worker processes (default: all CPU cores)")
+    sweep_p.add_argument("--scale", type=float, default=1.0)
+    sweep_p.add_argument("--seed", type=int, default=12345)
+    sweep_p.add_argument("--no-cache", action="store_true",
+                         help="do not read or write the on-disk result "
+                              "cache")
+    sweep_p.add_argument("--cache-dir", default=sweep_mod.CACHE_DIR,
+                         help="result-cache location (default: %(default)s)")
+    sweep_p.add_argument("--json", dest="json_out", metavar="OUT.json",
+                         help="write a pytest-benchmark-compatible timing "
+                              "record (BENCH_*.json style)")
+    sweep_p.add_argument("--quiet", action="store_true",
+                         help="suppress the progress/ETA line")
     return parser
 
 
@@ -265,13 +300,83 @@ def cmd_trace(args):
     return 0
 
 
+def _build_engine(args, quiet=True):
+    jobs = args.jobs if args.jobs else (os.cpu_count() or 1)
+    return SweepEngine(jobs=jobs, cache=not args.no_cache,
+                       cache_dir=args.cache_dir,
+                       progress=None if quiet else SweepProgress())
+
+
 def cmd_report(args):
     from .analysis.report import full_report
-    text = full_report(scale=args.scale, seed=args.seed)
+    text = full_report(scale=args.scale, seed=args.seed,
+                       engine=_build_engine(args))
     with open(args.output, "w") as fileobj:
         fileobj.write(text)
     print("wrote %s (%d bytes)" % (args.output, len(text)))
     return 0
+
+
+def cmd_sweep(args):
+    engine = _build_engine(args, quiet=args.quiet)
+    started = time.time()
+    out = EXPERIMENTS[args.name](scale=args.scale, seed=args.seed,
+                                 engine=engine)
+    elapsed = time.time() - started
+    report = engine.last_report
+    print(out["text"])
+    print("\nsweep %s: %d jobs (%d unique), %d executed, %d cached, "
+          "%d workers, %.2fs"
+          % (args.name, report.total, report.unique, report.executed,
+             report.cached, engine.jobs, elapsed))
+    if args.json_out:
+        _write_sweep_json(args, report, elapsed)
+        print("wrote %s" % args.json_out)
+    return 0
+
+
+def _write_sweep_json(args, report, elapsed):
+    """A BENCH_*.json-style record: the subset of the pytest-benchmark
+    schema our tooling reads (one benchmark entry, single round), plus a
+    ``sweep`` block with the cache/executed accounting."""
+    name = "sweep[%s]" % args.name
+    record = {
+        "machine_info": {
+            "python_version": platform.python_version(),
+            "cpu_count": os.cpu_count(),
+        },
+        "datetime": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "benchmarks": [{
+            "group": "sweep",
+            "name": name,
+            "fullname": "repro sweep %s" % args.name,
+            "params": {"scale": args.scale, "seed": args.seed,
+                       "jobs": args.jobs},
+            "stats": {
+                "min": elapsed, "max": elapsed, "mean": elapsed,
+                "median": elapsed, "stddev": 0.0, "rounds": 1,
+                "iterations": 1, "total": elapsed,
+                "ops": (1.0 / elapsed) if elapsed else 0.0,
+            },
+            "extra_info": {
+                "total_jobs": report.total,
+                "unique_jobs": report.unique,
+                "executed": report.executed,
+                "cached": report.cached,
+            },
+        }],
+        "sweep": {
+            "name": args.name,
+            "total": report.total,
+            "unique": report.unique,
+            "executed": report.executed,
+            "cached": report.cached,
+            "elapsed_s": elapsed,
+            "job_seconds": report.job_seconds,
+        },
+    }
+    with open(args.json_out, "w") as fileobj:
+        json.dump(record, fileobj, indent=2, sort_keys=True)
 
 
 COMMANDS = {
@@ -282,6 +387,7 @@ COMMANDS = {
     "area": cmd_area,
     "trace": cmd_trace,
     "report": cmd_report,
+    "sweep": cmd_sweep,
 }
 
 

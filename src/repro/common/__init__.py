@@ -18,6 +18,8 @@ from .params import (
     ProtocolConfig,
     SystemConfig,
     baseline,
+    config_digest,
+    config_to_dict,
     delegation_only,
     enhanced,
     large,
@@ -42,6 +44,8 @@ __all__ = [
     "ProtocolConfig",
     "SystemConfig",
     "baseline",
+    "config_digest",
+    "config_to_dict",
     "delegation_only",
     "enhanced",
     "large",

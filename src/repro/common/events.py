@@ -67,14 +67,19 @@ class EventQueue:
         """Drain the queue.
 
         Stops when the queue is empty, when ``max_events`` events have fired,
-        or when simulation time would exceed ``max_cycles``.  Returns the
-        number of events processed by this call.
+        or when simulation time would exceed ``max_cycles``.  On the
+        ``max_cycles`` exit ``now`` advances to the cap itself (no event fires
+        there), so callers comparing ``now`` against their cap see the true
+        stall point rather than the last fired event.  Returns the number of
+        events processed by this call.
         """
         fired = 0
         while self._heap:
             if max_events is not None and fired >= max_events:
                 break
             if max_cycles is not None and self._heap[0][0] > max_cycles:
+                if max_cycles > self._now:
+                    self._now = max_cycles
                 break
             self.step()
             fired += 1

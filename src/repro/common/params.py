@@ -17,7 +17,9 @@ functions and collected in :data:`EVALUATED_SYSTEMS`:
 ==============================  ==========================================
 """
 
-from dataclasses import dataclass, field, replace
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field, replace
 
 from .errors import ConfigError
 
@@ -268,6 +270,33 @@ def dele1k_rac32k(**overrides):
 
 def dele32_rac1m(**overrides):
     return enhanced(32, 1 * _MB, **overrides)
+
+
+# ---------------------------------------------------------------------------
+# Content hashing (the sweep engine's cache keys).
+# ---------------------------------------------------------------------------
+
+
+def config_to_dict(config):
+    """Canonical plain-dict form of a :class:`SystemConfig`.
+
+    Nested config dataclasses flatten to plain dicts of JSON-safe scalars,
+    so the result round-trips through ``json`` and is stable across
+    processes and Python versions (unlike ``hash()``, which is salted).
+    """
+    return asdict(config)
+
+
+def config_digest(config):
+    """Stable content hash (sha256 hex) of a :class:`SystemConfig`.
+
+    Two configs digest equal iff every field (including nested cache,
+    network and protocol configs) is equal — this is what makes sweep-cache
+    keys deterministic across processes and sessions.
+    """
+    canonical = json.dumps(config_to_dict(config), sort_keys=True,
+                           separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
 #: Name -> factory for the six systems of Figure 7, in the paper's order.

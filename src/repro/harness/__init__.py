@@ -1,6 +1,26 @@
-"""Experiment harness: app runner + one definition per paper artefact."""
+"""Experiment harness: app runner, parallel sweep engine, and one
+definition per paper artefact."""
 
 from . import experiments
 from .runner import AppRun, run_app, run_matrix
+from .sweep import (
+    SweepEngine,
+    SweepError,
+    SweepJob,
+    SweepProgress,
+    SweepReport,
+    job_key,
+)
 
-__all__ = ["experiments", "AppRun", "run_app", "run_matrix"]
+__all__ = [
+    "experiments",
+    "AppRun",
+    "run_app",
+    "run_matrix",
+    "SweepEngine",
+    "SweepError",
+    "SweepJob",
+    "SweepProgress",
+    "SweepReport",
+    "job_key",
+]

@@ -8,6 +8,13 @@ paper-vs-measured for every artefact.
 
 All functions accept ``scale`` (workload shrink factor) so tests can run
 them quickly; published numbers in EXPERIMENTS.md use ``scale=1.0``.
+
+Every function also accepts ``engine`` — a
+:class:`~repro.harness.sweep.SweepEngine` — and submits its whole
+simulation matrix as one batch of jobs, so ``repro sweep figure7
+--jobs 8`` runs the 42 independent sims in parallel and replays cached
+ones.  Without an explicit engine a serial, uncached one is used, which
+behaves exactly like the old direct ``run_app`` chain.
 """
 
 from dataclasses import replace
@@ -16,7 +23,7 @@ from ..analysis import compare
 from ..analysis.tables import render_series, render_table
 from ..common import params
 from ..workloads.registry import application_names
-from .runner import run_app
+from .sweep import SweepJob, default_engine
 
 #: Paper-reported values used for side-by-side comparison.
 PAPER = {
@@ -59,17 +66,27 @@ def evaluated_systems(**overrides):
             for name, factory in params.EVALUATED_SYSTEMS.items()}
 
 
+def _engine(engine):
+    return engine if engine is not None else default_engine()
+
+
+def _job(app, config, seed, scale):
+    return SweepJob(app=app, config=config, seed=seed, scale=scale)
+
+
 # ---------------------------------------------------------------------------
 # Table 3 — number of consumers in producer-consumer patterns
 # ---------------------------------------------------------------------------
 
-def table3(scale=1.0, seed=12345, apps=APPS):
+def table3(scale=1.0, seed=12345, apps=APPS, engine=None):
     """Consumer-count distribution observed by the detector (base system)."""
     buckets = ("1", "2", "3", "4", "4+")
+    runs = _engine(engine).run_many(
+        {app: _job(app, params.baseline(), seed, scale) for app in apps})
     rows = []
     measured = {}
     for app in apps:
-        run = run_app(app, params.baseline(), seed=seed, scale=scale)
+        run = runs[app]
         measured[app] = run.consumer_hist
         rows.append([app] + ["%.1f" % run.consumer_hist[b] for b in buckets])
     text = render_table(["app"] + ["%s (%%)" % b for b in buckets], rows,
@@ -81,19 +98,18 @@ def table3(scale=1.0, seed=12345, apps=APPS):
 # Figure 7 — speedup / network messages / remote misses, 7 apps x 6 systems
 # ---------------------------------------------------------------------------
 
-def figure7(scale=1.0, seed=12345, apps=APPS):
+def figure7(scale=1.0, seed=12345, apps=APPS, engine=None):
     """The paper's main result: all apps on all six system presets."""
     systems = evaluated_systems()
+    runs = _engine(engine).run_many(
+        {(app, name): _job(app, config, seed, scale)
+         for app in apps for name, config in systems.items()})
     speedups, messages, misses = {}, {}, {}
     for app in apps:
-        base = run_app(app, systems["base"], seed=seed, scale=scale).metrics
+        base = runs[(app, "base")].metrics
         speedups[app], messages[app], misses[app] = {}, {}, {}
-        for name, config in systems.items():
-            if name == "base":
-                run_metrics = base
-            else:
-                run_metrics = run_app(app, config, seed=seed,
-                                      scale=scale).metrics
+        for name in systems:
+            run_metrics = runs[(app, name)].metrics
             speedups[app][name] = compare.speedup(base, run_metrics)
             messages[app][name] = compare.normalized_messages(base, run_metrics)
             misses[app][name] = compare.normalized_remote_misses(base,
@@ -111,14 +127,17 @@ def figure7(scale=1.0, seed=12345, apps=APPS):
             "text": "\n\n".join(sections)}
 
 
-def headline(scale=1.0, seed=12345, apps=APPS):
+def headline(scale=1.0, seed=12345, apps=APPS, engine=None):
     """Geomean speedup + mean traffic/remote-miss reduction, small & large."""
+    configs = {"base": params.baseline(), "small": params.small(),
+               "large": params.large()}
+    runs = _engine(engine).run_many(
+        {(cname, app): _job(app, config, seed, scale)
+         for cname, config in configs.items() for app in apps})
     out = {}
-    base_runs = {app: run_app(app, params.baseline(), seed=seed,
-                              scale=scale).metrics for app in apps}
-    for cname, factory in (("small", params.small), ("large", params.large)):
-        enh = {app: run_app(app, factory(), seed=seed, scale=scale).metrics
-               for app in apps}
+    base_runs = {app: runs[("base", app)].metrics for app in apps}
+    for cname in ("small", "large"):
+        enh = {app: runs[(cname, app)].metrics for app in apps}
         out[cname] = compare.headline(base_runs, enh)
     rows = []
     for cname in ("small", "large"):
@@ -134,14 +153,16 @@ def headline(scale=1.0, seed=12345, apps=APPS):
     return {"measured": out, "paper": PAPER["headline"], "text": text}
 
 
-def delegation_only(scale=1.0, seed=12345, apps=APPS):
+def delegation_only(scale=1.0, seed=12345, apps=APPS, engine=None):
     """Paper §3.2: delegation without updates lands within ~1% of baseline."""
+    configs = {"base": params.baseline(), "dele": params.delegation_only()}
+    runs = _engine(engine).run_many(
+        {(cname, app): _job(app, config, seed, scale)
+         for cname, config in configs.items() for app in apps})
     out = {}
     for app in apps:
-        base = run_app(app, params.baseline(), seed=seed, scale=scale).metrics
-        dele = run_app(app, params.delegation_only(), seed=seed,
-                       scale=scale).metrics
-        out[app] = compare.speedup(base, dele)
+        out[app] = compare.speedup(runs[("base", app)].metrics,
+                                   runs[("dele", app)].metrics)
     rows = [[app, out[app]] for app in apps]
     text = render_table(["app", "delegation-only speedup"], rows,
                         title="Delegation-only vs baseline (paper: within ~1%)")
@@ -152,7 +173,7 @@ def delegation_only(scale=1.0, seed=12345, apps=APPS):
 # Figure 8 — smarter vs larger caches (equal silicon area)
 # ---------------------------------------------------------------------------
 
-def figure8(scale=1.0, seed=12345, apps=APPS):
+def figure8(scale=1.0, seed=12345, apps=APPS, engine=None):
     """1 MB L2 baseline vs 1 MB L2 + extensions vs 1.04 MB L2 baseline.
 
     The equal-area L2 size is *derived* from the paper's §3.3.1 SRAM
@@ -162,18 +183,23 @@ def figure8(scale=1.0, seed=12345, apps=APPS):
     l2_1m = params.CacheConfig(1 * _MB, 4, latency=10)
     l2_104m = params.CacheConfig(
         equal_area_l2_bytes(1 * _MB, params.small()), 4, latency=10)
-    base_1m = replace(params.baseline(), l2=l2_1m)
-    enhanced = replace(params.small(), l2=l2_1m)
-    equal_area = replace(params.baseline(), l2=l2_104m)
+    configs = {
+        "base": replace(params.baseline(), l2=l2_1m),
+        "smart": replace(params.small(), l2=l2_1m),
+        "bigger": replace(params.baseline(), l2=l2_104m),
+    }
+    runs = _engine(engine).run_many(
+        {(cname, app): _job(app, config, seed, scale)
+         for cname, config in configs.items() for app in apps})
     speedups = {}
     for app in apps:
-        base = run_app(app, base_1m, seed=seed, scale=scale).metrics
-        smart = run_app(app, enhanced, seed=seed, scale=scale).metrics
-        bigger = run_app(app, equal_area, seed=seed, scale=scale).metrics
+        base = runs[("base", app)].metrics
         speedups[app] = {
             "base_1M": 1.0,
-            "deledc_32K_RAC": compare.speedup(base, smart),
-            "equal_area_1.04M": compare.speedup(base, bigger),
+            "deledc_32K_RAC": compare.speedup(
+                base, runs[("smart", app)].metrics),
+            "equal_area_1.04M": compare.speedup(
+                base, runs[("bigger", app)].metrics),
         }
     rows = [[app, speedups[app]["deledc_32K_RAC"],
              speedups[app]["equal_area_1.04M"]] for app in apps]
@@ -193,18 +219,22 @@ FIGURE9_INFINITE = 10 ** 12  # effectively "never downgrade speculatively"
 
 
 def figure9(scale=1.0, seed=12345, apps=APPS, delays=FIGURE9_DELAYS,
-            include_infinite=True):
+            include_infinite=True, engine=None):
     """Execution time vs intervention delay, normalised to the 5-cycle run."""
     sweep = list(delays)
     if include_infinite:
         sweep.append(FIGURE9_INFINITE)
+    runs = _engine(engine).run_many(
+        {(app, delay): _job(
+            app, params.small().with_protocol(intervention_delay=delay),
+            seed, scale)
+         for app in apps for delay in sweep})
     series = {}
     for app in apps:
         points = []
         reference = None
         for delay in sweep:
-            config = params.small().with_protocol(intervention_delay=delay)
-            cycles = run_app(app, config, seed=seed, scale=scale).metrics.cycles
+            cycles = runs[(app, delay)].metrics.cycles
             if reference is None:
                 reference = cycles
             label = "inf" if delay == FIGURE9_INFINITE else delay
@@ -224,19 +254,24 @@ def figure9(scale=1.0, seed=12345, apps=APPS, delays=FIGURE9_DELAYS,
 FIGURE10_HOPS_NS = (25, 50, 100, 200)
 
 
-def figure10(scale=1.0, seed=12345, app="appbt", hops_ns=FIGURE10_HOPS_NS):
+def figure10(scale=1.0, seed=12345, app="appbt", hops_ns=FIGURE10_HOPS_NS,
+             engine=None):
     """Baseline + enhanced execution time and speedup vs hop latency."""
+    def with_hop(config, ns):
+        return replace(config, network=replace(config.network,
+                                               hop_latency=2 * ns))
+
+    jobs = {}
+    for ns in hops_ns:
+        jobs[(ns, "base")] = _job(app, with_hop(params.baseline(), ns),
+                                  seed, scale)
+        jobs[(ns, "enh")] = _job(app, with_hop(params.small(), ns),
+                                 seed, scale)
+    runs = _engine(engine).run_many(jobs)
     points = []
     for ns in hops_ns:
-        cycles_per_hop = 2 * ns
-        base_cfg = params.baseline()
-        base_cfg = replace(base_cfg, network=replace(
-            base_cfg.network, hop_latency=cycles_per_hop))
-        enh_cfg = params.small()
-        enh_cfg = replace(enh_cfg, network=replace(
-            enh_cfg.network, hop_latency=cycles_per_hop))
-        base = run_app(app, base_cfg, seed=seed, scale=scale).metrics
-        enh = run_app(app, enh_cfg, seed=seed, scale=scale).metrics
+        base = runs[(ns, "base")].metrics
+        enh = runs[(ns, "enh")].metrics
         points.append({"hop_ns": ns, "base_cycles": base.cycles,
                        "enh_cycles": enh.cycles,
                        "speedup": compare.speedup(base, enh)})
@@ -256,19 +291,26 @@ def figure10(scale=1.0, seed=12345, app="appbt", hops_ns=FIGURE10_HOPS_NS):
 FIGURE11_ENTRIES = (32, 64, 128, 256, 512, 1024)
 
 
-def figure11(scale=1.0, seed=12345, app="mg", entries=FIGURE11_ENTRIES):
+def figure11(scale=1.0, seed=12345, app="mg", entries=FIGURE11_ENTRIES,
+             engine=None):
     """Speedup and normalised messages vs delegate-cache entries (32K RAC),
     plus the 1K-entry + 1M-RAC point, mirroring the paper's bar chart."""
-    base = run_app(app, params.baseline(), seed=seed, scale=scale).metrics
+    sweep = ([("base", params.baseline())]
+             + [((count, "32K"),
+                 params.enhanced(delegate_entries=count, rac_bytes=32 * _KB))
+                for count in entries]
+             + [((1024, "1M"),
+                 params.enhanced(delegate_entries=1024, rac_bytes=1 * _MB))])
+    runs = _engine(engine).run_many(
+        {key: _job(app, config, seed, scale) for key, config in sweep})
+    base = runs["base"].metrics
     points = []
     for count in entries:
-        cfg = params.enhanced(delegate_entries=count, rac_bytes=32 * _KB)
-        metrics = run_app(app, cfg, seed=seed, scale=scale).metrics
+        metrics = runs[(count, "32K")].metrics
         points.append({"entries": count, "rac": "32K",
                        "speedup": compare.speedup(base, metrics),
                        "messages": compare.normalized_messages(base, metrics)})
-    cfg = params.enhanced(delegate_entries=1024, rac_bytes=1 * _MB)
-    metrics = run_app(app, cfg, seed=seed, scale=scale).metrics
+    metrics = runs[(1024, "1M")].metrics
     points.append({"entries": 1024, "rac": "1M",
                    "speedup": compare.speedup(base, metrics),
                    "messages": compare.normalized_messages(base, metrics)})
@@ -287,19 +329,26 @@ def figure11(scale=1.0, seed=12345, app="mg", entries=FIGURE11_ENTRIES):
 FIGURE12_RAC_KB = (32, 64, 128, 256, 512, 1024)
 
 
-def figure12(scale=1.0, seed=12345, app="appbt", rac_kb=FIGURE12_RAC_KB):
+def figure12(scale=1.0, seed=12345, app="appbt", rac_kb=FIGURE12_RAC_KB,
+             engine=None):
     """Speedup and normalised messages vs RAC size (32-entry delegate
     tables), plus the 1K-entry + 1M-RAC point."""
-    base = run_app(app, params.baseline(), seed=seed, scale=scale).metrics
+    sweep = ([("base", params.baseline())]
+             + [((kb, 32),
+                 params.enhanced(delegate_entries=32, rac_bytes=kb * _KB))
+                for kb in rac_kb]
+             + [((1024, 1024),
+                 params.enhanced(delegate_entries=1024, rac_bytes=1 * _MB))])
+    runs = _engine(engine).run_many(
+        {key: _job(app, config, seed, scale) for key, config in sweep})
+    base = runs["base"].metrics
     points = []
     for kb in rac_kb:
-        cfg = params.enhanced(delegate_entries=32, rac_bytes=kb * _KB)
-        metrics = run_app(app, cfg, seed=seed, scale=scale).metrics
+        metrics = runs[(kb, 32)].metrics
         points.append({"rac_kb": kb, "entries": 32,
                        "speedup": compare.speedup(base, metrics),
                        "messages": compare.normalized_messages(base, metrics)})
-    cfg = params.enhanced(delegate_entries=1024, rac_bytes=1 * _MB)
-    metrics = run_app(app, cfg, seed=seed, scale=scale).metrics
+    metrics = runs[(1024, 1024)].metrics
     points.append({"rac_kb": 1024, "entries": 1024,
                    "speedup": compare.speedup(base, metrics),
                    "messages": compare.normalized_messages(base, metrics)})

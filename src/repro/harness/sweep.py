@@ -1,0 +1,451 @@
+"""Parallel sweep engine with an on-disk result cache.
+
+Every paper artefact is a matrix of independent ``run_app`` simulations
+(Figure 7 alone is 42), each a deterministic, self-contained
+:class:`~repro.sim.System`.  This module turns those serial chains into
+*jobs*:
+
+* a :class:`SweepJob` names one simulation by content — app name,
+  :class:`~repro.common.params.SystemConfig`, seed, scale, num_cpus — and
+  :func:`job_key` hashes that content into a stable identifier;
+* a :class:`SweepEngine` fans a batch of jobs out over a
+  ``multiprocessing`` worker pool (``jobs=1`` runs in-process), dedupes
+  identical jobs within the batch, and replays finished simulations from
+  an on-disk cache under ``.repro_cache/`` so re-running an experiment
+  only executes what changed;
+* worker failures are captured and re-raised as :class:`SweepError`
+  carrying the failing job's key and the worker traceback, instead of
+  hanging the pool;
+* progress/ETA reporting plugs in through the same hook style the obs
+  subsystem uses for tracer callbacks, with per-job wall-times kept in an
+  :class:`~repro.obs.metrics.Histogram`.
+
+Because each simulation is deterministic, parallel results are identical
+to serial ones: the cache stores the raw ``RunResult`` counters and the
+evaluation-facing :class:`~repro.harness.runner.AppRun` is rebuilt from
+them exactly as ``run_app`` builds it.
+
+Typical use::
+
+    from repro.common import params
+    from repro.harness.sweep import SweepEngine, SweepJob
+
+    engine = SweepEngine(jobs=4, cache=True)
+    runs = engine.run_many({
+        (app, name): SweepJob(app=app, config=config, scale=0.25)
+        for app in ("em3d", "lu")
+        for name, config in params.EVALUATED_SYSTEMS.items()
+    })
+    print(runs[("em3d", "base")].metrics.cycles)
+"""
+
+import hashlib
+import json
+import os
+import sys
+import tempfile
+import time
+import traceback
+from concurrent import futures
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..common.errors import ReproError
+from ..common.params import config_digest, config_to_dict
+from ..obs.metrics import Histogram, exponential_bounds
+
+#: Bump when the cached payload layout changes; old entries stop matching.
+CACHE_FORMAT = 1
+
+#: Default cache location, relative to the current working directory.
+CACHE_DIR = ".repro_cache"
+
+
+class SweepError(ReproError):
+    """A sweep job failed in a worker; carries the job key and traceback."""
+
+    def __init__(self, key, job, worker_traceback):
+        self.key = key
+        self.job = job
+        self.worker_traceback = worker_traceback
+        super().__init__(
+            "sweep job %s (%s) failed in worker:\n%s"
+            % (key[:16], job.describe() if job is not None else "?",
+               worker_traceback))
+
+
+@dataclass(frozen=True)
+class SweepJob:
+    """One simulation, named by content (what :func:`job_key` hashes)."""
+
+    app: str
+    config: object  # SystemConfig
+    seed: int = 12345
+    scale: float = 1.0
+    num_cpus: Optional[int] = None
+    check_coherence: bool = True
+
+    @property
+    def key(self):
+        return job_key(self)
+
+    def describe(self):
+        return "%s seed=%d scale=%g cpus=%s" % (
+            self.app, self.seed, self.scale,
+            self.num_cpus if self.num_cpus is not None
+            else self.config.num_nodes)
+
+
+def job_key(job):
+    """Deterministic content hash of a :class:`SweepJob`.
+
+    Built from the canonical JSON of (app, config, seed, scale, num_cpus,
+    check_coherence, cache format), then folded through the config's
+    sha256 digest — stable across processes, sessions and machines.
+    """
+    spec = {
+        "format": CACHE_FORMAT,
+        "app": job.app,
+        "config": config_digest(job.config),
+        "seed": job.seed,
+        "scale": job.scale,
+        "num_cpus": job.num_cpus,
+        "check_coherence": job.check_coherence,
+    }
+    canonical = json.dumps(spec, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Worker-side execution: runs in the pool process (or in-process when
+# jobs=1).  Returns plain JSON-safe payloads so results survive both the
+# pickle channel and the on-disk cache identically.
+# ---------------------------------------------------------------------------
+
+
+def _execute_job(job):
+    """Run one job; never raises (errors come back as structured tuples)."""
+    try:
+        return ("ok", _payload_from_run(_run_job(job)))
+    except BaseException:
+        return ("error", traceback.format_exc())
+
+
+def _run_job(job):
+    from .runner import run_app
+
+    return run_app(job.app, job.config, num_cpus=job.num_cpus,
+                   seed=job.seed, scale=job.scale,
+                   check_coherence=job.check_coherence)
+
+
+def _payload_from_run(run):
+    """The JSON-safe cacheable core of an AppRun (raw RunResult counters)."""
+    metrics = run.metrics
+    return {
+        "cycles": metrics.cycles,
+        "stats": dict(run.stats),
+    }
+
+
+def _apprun_from_payload(job, payload):
+    """Rebuild an AppRun from a payload exactly as ``run_app`` builds it."""
+    from ..analysis.metrics import consumer_histogram, metrics_from_result
+    from ..sim.system import RunResult
+    from .runner import AppRun
+
+    result = RunResult(cycles=payload["cycles"], stats=dict(payload["stats"]),
+                       cpu_finish_times=[], ops_executed=0,
+                       events_processed=0)
+    return AppRun(app=job.app,
+                  metrics=metrics_from_result(result),
+                  consumer_hist=consumer_histogram(result),
+                  stats=result.stats)
+
+
+# ---------------------------------------------------------------------------
+# On-disk result cache.
+# ---------------------------------------------------------------------------
+
+
+class ResultCache:
+    """Content-addressed store of finished-job payloads under ``root``.
+
+    Layout: ``<root>/<key[:2]>/<key>.json`` — one JSON document per
+    finished simulation, atomically written (tmp file + ``os.replace``)
+    so a crashed writer never leaves a torn entry.  Invalidation is by
+    key construction: keys hash the full job content plus
+    :data:`CACHE_FORMAT`, so changing any input (or the payload layout)
+    simply misses.
+    """
+
+    def __init__(self, root=CACHE_DIR):
+        self.root = root
+
+    def _path(self, key):
+        return os.path.join(self.root, key[:2], key + ".json")
+
+    def get(self, key):
+        """The cached payload for ``key``, or None (corrupt entries miss)."""
+        try:
+            with open(self._path(key)) as fileobj:
+                doc = json.load(fileobj)
+        except (OSError, ValueError):
+            return None
+        if doc.get("format") != CACHE_FORMAT:
+            return None
+        return doc.get("result")
+
+    def put(self, key, job, payload, elapsed):
+        path = self._path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        doc = {
+            "format": CACHE_FORMAT,
+            "key": key,
+            "job": {
+                "app": job.app,
+                "config": config_to_dict(job.config),
+                "seed": job.seed,
+                "scale": job.scale,
+                "num_cpus": job.num_cpus,
+                "check_coherence": job.check_coherence,
+            },
+            "elapsed_s": elapsed,
+            "result": payload,
+        }
+        handle, tmp_path = tempfile.mkstemp(dir=os.path.dirname(path),
+                                            suffix=".tmp")
+        try:
+            with os.fdopen(handle, "w") as fileobj:
+                json.dump(doc, fileobj, sort_keys=True)
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+
+
+# ---------------------------------------------------------------------------
+# Progress hooks (the obs-style callback surface).
+# ---------------------------------------------------------------------------
+
+
+class SweepProgress:
+    """Console progress/ETA reporter.
+
+    Implements the engine's hook surface the same way the obs tracer
+    exposes per-event callbacks, and keeps per-job wall-times in an obs
+    :class:`~repro.obs.metrics.Histogram` (milliseconds, exponential
+    buckets) so the ETA comes from the running mean without storing
+    per-job samples.
+    """
+
+    def __init__(self, stream=None, min_interval=0.5):
+        self.stream = stream if stream is not None else sys.stderr
+        self.min_interval = min_interval
+        self.job_ms = Histogram(exponential_bounds(1, 2, 24))  # 1ms..~2.3h
+        self._total = 0
+        self._done = 0
+        self._cached = 0
+        self._last_report = 0.0
+
+    # -- hook surface (called by SweepEngine) ------------------------------
+
+    def sweep_started(self, total, cached):
+        self._total = total
+        self._done = cached
+        self._cached = cached
+        if cached:
+            self._emit(force=True)
+
+    def job_finished(self, key, job, elapsed, cached):
+        self._done += 1
+        if cached:
+            self._cached += 1
+        else:
+            self.job_ms.record(max(1, int(elapsed * 1000)))
+        self._emit(force=self._done == self._total)
+
+    def sweep_finished(self, report):
+        self._emit(force=True)
+        self.stream.write("\n")
+        self.stream.flush()
+
+    # -- rendering ---------------------------------------------------------
+
+    def _eta_seconds(self):
+        remaining = self._total - self._done
+        if not remaining or not self.job_ms.count:
+            return 0.0
+        return remaining * self.job_ms.mean / 1000.0
+
+    def _emit(self, force=False):
+        now = time.monotonic()
+        if not force and now - self._last_report < self.min_interval:
+            return
+        self._last_report = now
+        eta = self._eta_seconds()
+        self.stream.write(
+            "\rsweep: %d/%d jobs (%d cached)  mean %.1fs/job  ETA %ds   "
+            % (self._done, self._total, self._cached,
+               self.job_ms.mean / 1000.0, int(round(eta))))
+        self.stream.flush()
+
+
+class _NullProgress:
+    """The no-op hook target (mirrors the tracer's disabled fast path)."""
+
+    def sweep_started(self, total, cached):
+        pass
+
+    def job_finished(self, key, job, elapsed, cached):
+        pass
+
+    def sweep_finished(self, report):
+        pass
+
+
+# ---------------------------------------------------------------------------
+# The engine.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SweepReport:
+    """What one :meth:`SweepEngine.run_many` call did."""
+
+    total: int = 0          # caller-visible jobs (before dedup)
+    unique: int = 0         # distinct simulations
+    executed: int = 0       # simulations actually run
+    cached: int = 0         # served from the on-disk cache
+    elapsed: float = 0.0    # wall-clock seconds for the batch
+    job_seconds: dict = field(default_factory=dict)  # key -> worker seconds
+
+
+class SweepEngine:
+    """Runs batches of :class:`SweepJob` with caching and a worker pool.
+
+    ``jobs`` is the worker-pool width; 1 (the default) executes in-process
+    with no multiprocessing involved.  ``cache`` turns the on-disk result
+    cache on; ``cache_dir`` relocates it.  ``progress`` is a hook object
+    (see :class:`SweepProgress`); None disables reporting.
+    """
+
+    def __init__(self, jobs=1, cache=False, cache_dir=CACHE_DIR,
+                 progress=None, mp_context="spawn"):
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1, got %r" % jobs)
+        self.jobs = jobs
+        self.cache = ResultCache(cache_dir) if cache else None
+        self.progress = progress if progress is not None else _NullProgress()
+        self.mp_context = mp_context
+        self.last_report = SweepReport()
+
+    # -- public API --------------------------------------------------------
+
+    def run_app(self, app, config, seed=12345, scale=1.0, num_cpus=None,
+                check_coherence=True):
+        """One-job convenience: same signature spirit as ``runner.run_app``."""
+        job = SweepJob(app=app, config=config, seed=seed, scale=scale,
+                       num_cpus=num_cpus, check_coherence=check_coherence)
+        return self.run_many({0: job})[0]
+
+    def run_many(self, jobs):
+        """Execute a batch and return results under the caller's keys.
+
+        ``jobs`` maps arbitrary hashable caller keys to :class:`SweepJob`
+        (a list/tuple works too: indexes become the keys).  Identical jobs
+        (same content hash) are deduped and executed once.  Returns a dict
+        of caller key -> :class:`~repro.harness.runner.AppRun`.
+        """
+        if not isinstance(jobs, dict):
+            jobs = dict(enumerate(jobs))
+        started = time.monotonic()
+        content = {caller: job_key(job) for caller, job in jobs.items()}
+        unique = {}
+        for caller, job in jobs.items():
+            unique.setdefault(content[caller], job)
+
+        payloads, times = {}, {}
+        if self.cache is not None:
+            for key in unique:
+                hit = self.cache.get(key)
+                if hit is not None:
+                    payloads[key] = hit
+        misses = {key: job for key, job in unique.items()
+                  if key not in payloads}
+
+        self.progress.sweep_started(len(unique), len(payloads))
+        for key in payloads:
+            self.progress.job_finished(key, unique[key], 0.0, True)
+
+        if misses:
+            self._execute(misses, payloads, times)
+
+        report = SweepReport(
+            total=len(jobs), unique=len(unique), executed=len(misses),
+            cached=len(unique) - len(misses),
+            elapsed=time.monotonic() - started, job_seconds=times)
+        self.last_report = report
+        self.progress.sweep_finished(report)
+        return {caller: _apprun_from_payload(jobs[caller],
+                                             payloads[content[caller]])
+                for caller in jobs}
+
+    # -- execution ---------------------------------------------------------
+
+    def _execute(self, misses, payloads, times):
+        if self.jobs == 1 or len(misses) == 1:
+            for key, job in misses.items():
+                job_started = time.monotonic()
+                status, payload = _execute_job(job)
+                self._finish(key, job, status, payload, payloads, times,
+                             time.monotonic() - job_started)
+            return
+        import multiprocessing
+        from concurrent.futures.process import BrokenProcessPool
+
+        context = multiprocessing.get_context(self.mp_context)
+        workers = min(self.jobs, len(misses))
+        with futures.ProcessPoolExecutor(max_workers=workers,
+                                         mp_context=context) as pool:
+            pending = {}
+            for key, job in misses.items():
+                pending[pool.submit(_execute_job, job)] = (
+                    key, job, time.monotonic())
+            for future in futures.as_completed(pending):
+                key, job, job_started = pending[future]
+                try:
+                    status, payload = future.result()
+                except BrokenProcessPool:
+                    # A worker died hard (segfault, OOM-kill): name the job
+                    # instead of letting the pool hang or the error float
+                    # up anonymously.
+                    raise SweepError(key, job,
+                                     "worker process died (pool broken)")
+                self._finish(key, job, status, payload, payloads, times,
+                             time.monotonic() - job_started)
+
+    def _finish(self, key, job, status, payload, payloads, times, elapsed):
+        if status != "ok":
+            raise SweepError(key, job, payload)
+        payloads[key] = payload
+        times[key] = elapsed
+        if self.cache is not None:
+            self.cache.put(key, job, payload, elapsed)
+        self.progress.job_finished(key, job, elapsed, False)
+
+
+#: The default engine behind experiments called without an explicit one:
+#: serial, uncached — byte-identical behaviour to the old direct run_app
+#: chain (and no surprise disk writes from tests or library users).
+_DEFAULT_ENGINE = None
+
+
+def default_engine():
+    global _DEFAULT_ENGINE
+    if _DEFAULT_ENGINE is None:
+        _DEFAULT_ENGINE = SweepEngine(jobs=1, cache=False)
+    return _DEFAULT_ENGINE

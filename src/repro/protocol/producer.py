@@ -176,9 +176,17 @@ class ProducerMixin:
         """Home-initiated recall (undelegation reason 3 at the home)."""
         pentry = self.producer_table.lookup(msg.addr, touch=False)
         if pentry is None:
+            # No entry can mean two things.  If we hold an outstanding write
+            # miss for the line, the home's DELEGATE may still be in flight
+            # to us (it pays the DRAM latency; the recall does not), so the
+            # home must keep retrying ("busy").  Only without such a miss is
+            # the line truly gone — our voluntary UNDELE is already on its
+            # way to the home and will resolve the recall.
+            reason = ("busy" if self._active_miss(msg.addr, MissKind.WRITE)
+                      is not None else "gone")
             self.send(Message(MsgType.NACK, src=self.node, dst=msg.src,
                               addr=msg.addr,
-                              payload={"for": "recall", "reason": "gone"}))
+                              payload={"for": "recall", "reason": reason}))
             return
         if pentry.busy is not None or pentry.pending_updates > 0:
             self.send(Message(MsgType.NACK, src=self.node, dst=msg.src,

@@ -66,26 +66,33 @@ class System:
             max_events=None):
         """Execute one op stream per CPU and return a :class:`RunResult`.
 
-        ``per_cpu_ops`` is a sequence of at most ``num_nodes`` iterables of
-        trace ops; CPU *i* runs stream *i*.  ``placements`` is an iterable
-        of ``(start, length, home)`` triples modelling the paper's
-        first-touch placement; pass the triples produced by the workload's
-        :meth:`placements` method.
+        ``per_cpu_ops`` is an iterable of at most ``num_nodes`` iterables of
+        trace ops; CPU *i* runs stream *i*.  Streams are materialised once
+        up front, so one-shot iterables (generators) are fine.
+        ``placements`` is an iterable of ``(start, length, home)`` triples
+        modelling the paper's first-touch placement; pass the triples
+        produced by the workload's :meth:`placements` method.
         """
         if self.processors:
             raise SimulationError("a System instance runs exactly one workload")
-        if len(per_cpu_ops) > self.config.num_nodes:
+        streams = [list(ops) for ops in per_cpu_ops]
+        if not streams:
+            raise SimulationError(
+                "per_cpu_ops is empty: need at least one op stream")
+        if len(streams) > self.config.num_nodes:
             raise SimulationError(
                 "%d op streams for %d nodes"
-                % (len(per_cpu_ops), self.config.num_nodes))
+                % (len(streams), self.config.num_nodes))
+        # An empty placements list deliberately means the same as None
+        # ("no explicit placement"): the falsy check covers both.
         if placements:
             for start, length, home in placements:
                 self.address_map.place_range(start, length, home)
-        self.barrier = BarrierManager(self.events, len(per_cpu_ops),
+        self.barrier = BarrierManager(self.events, len(streams),
                                       stats=self.stats)
         self.processors = [
             Processor(node, self, self.hubs[node], ops)
-            for node, ops in enumerate(per_cpu_ops)
+            for node, ops in enumerate(streams)
         ]
         self._unfinished = len(self.processors)
         for processor in self.processors:

@@ -1,5 +1,7 @@
 """The command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -83,6 +85,49 @@ class TestParser:
     def test_command_required(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestSweep:
+    def test_second_run_served_from_cache(self, tmp_path, capsys):
+        args = ["sweep", "table3", "--scale", "0.1", "--quiet",
+                "--cache-dir", str(tmp_path / "cache")]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "Table 3" in first
+        assert "0 cached" in first
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert "0 executed" in second
+        # The cache only stores simulation inputs/outputs, so the rendered
+        # artefact must be reproduced exactly.
+        assert second.splitlines()[:-1] == first.splitlines()[:-1]
+
+    def test_no_cache_always_executes(self, tmp_path, capsys):
+        args = ["sweep", "table3", "--scale", "0.1", "--quiet", "--no-cache",
+                "--cache-dir", str(tmp_path / "cache")]
+        assert main(args) == 0
+        assert main(args) == 0
+        assert "0 executed" not in capsys.readouterr().out
+        assert not (tmp_path / "cache").exists()
+
+    def test_json_timing_record(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_sweep.json"
+        assert main(["sweep", "table3", "--scale", "0.1", "--quiet",
+                     "--cache-dir", str(tmp_path / "cache"),
+                     "--json", str(out)]) == 0
+        capsys.readouterr()
+        doc = json.loads(out.read_text())
+        bench = doc["benchmarks"][0]
+        assert bench["name"] == "sweep[table3]"
+        assert bench["stats"]["rounds"] == 1
+        assert bench["stats"]["mean"] > 0
+        assert doc["sweep"]["name"] == "table3"
+        assert doc["sweep"]["executed"] > 0
+        assert doc["sweep"]["cached"] == 0
+
+    def test_unknown_sweep_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "figure99"])
 
 
 class TestReport:

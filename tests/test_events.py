@@ -81,6 +81,28 @@ class TestRunLimits:
         assert log == ["early"]
         assert ev.pending == 1
 
+    def test_max_cycles_advances_now_to_cap(self):
+        # When the run stops at the cycle cap, simulated time must land on
+        # the cap itself, not on the last event that happened to fire —
+        # callers add wall-clock-style deltas to ``now`` after a capped run.
+        ev = EventQueue()
+        ev.schedule(10, lambda: None)
+        ev.schedule(100, lambda: None)
+        ev.run(max_cycles=50)
+        assert ev.now == 50
+        assert ev.pending == 1
+
+    def test_max_cycles_never_rewinds_now(self):
+        ev = EventQueue()
+        ev.schedule(40, lambda: None)
+        ev.schedule(100, lambda: None)
+        ev.run(max_cycles=50)
+        assert ev.now == 50
+        # A cap below the current time must not move the clock backwards.
+        ev.schedule(60, lambda: None)
+        ev.run(max_cycles=20)
+        assert ev.now == 50
+
     def test_step_empty_returns_false(self):
         assert EventQueue().step() is False
 

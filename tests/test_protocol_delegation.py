@@ -165,6 +165,46 @@ class TestUndelegation:
             assert not det.marked_pc
 
 
+class TestRecallRacesInFlightDelegate:
+    """Regression: a recall (UNDELE_REQ) can overtake the DELEGATE it is
+    recalling.
+
+    The home pays the DRAM latency before the DELEGATE leaves, so a
+    third-party GETX arriving inside that window parks at the home
+    (busy=UNDELEGATE) and sends a recall that reaches the producer before
+    the delegation does.  The producer has no producer-table entry yet; it
+    must answer "busy" (its outstanding write miss proves a DELEGATE may
+    be in flight to it), not "gone" — a "gone" reply makes the home wait
+    forever for a voluntary UNDELE that will never come, stalling the
+    parked request and livelocking every later requester.
+    """
+
+    def _racing_ops(self, delay):
+        # Three warm-up producer/consumer phases saturate the detector;
+        # the fourth producer write triggers delegation.  Node 3 writes
+        # the same line ``delay`` cycles into the DRAM window with no
+        # barrier in between, so its GETX races the in-flight DELEGATE.
+        ops = pc_ops(iters=3)
+        bid = 6
+        ops[1].append(Write(LINE))
+        ops[3].append(Compute(delay))
+        ops[3].append(Write(LINE))
+        for stream in ops:
+            stream.append(Barrier(bid))
+        return ops
+
+    @pytest.mark.parametrize("delay", [0, 60, 120, 180])
+    def test_third_party_write_during_delegate_flight(self, dele4, delay):
+        system = System(dele4)
+        system.address_map.place_range(LINE, 128, 0)
+        res = system.run(self._racing_ops(delay))
+        # The delegation happened and was recalled; nobody stalled.
+        assert res.stats.get("dele.delegate", 0) >= 1
+        assert LINE not in system.hubs[1].producer_table
+        entry = system.hubs[0].home_memory.entry(LINE)
+        assert entry.state is not DirState.DELE
+
+
 class TestStaleHints:
     def test_stale_hint_bounced_and_dropped(self, dele4):
         """A consumer-table hint surviving undelegation gets NACK_NOT_HOME

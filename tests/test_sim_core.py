@@ -108,6 +108,27 @@ class TestSystem:
         with pytest.raises(SimulationError):
             System(base4).run([[Compute(1)] for _ in range(5)])
 
+    def test_empty_streams_rejected(self, base4):
+        """No op streams at all is a usage error, reported as such."""
+        with pytest.raises(SimulationError, match="per_cpu_ops is empty"):
+            System(base4).run([])
+
+    def test_stream_container_may_be_a_generator(self, base4):
+        """per_cpu_ops itself may be a one-shot iterable, not just the
+        individual streams."""
+        res = System(base4).run(
+            iter([[Compute(10)], (Compute(10) for _ in range(3))]))
+        assert res.ops_executed == 4
+
+    def test_empty_placements_means_default_homes(self, base4):
+        """placements=[] behaves exactly like placements=None."""
+        explicit = System(base4)
+        explicit.run([[Read(LINE)]], placements=[])
+        default = System(base4)
+        default.run([[Read(LINE)]])
+        assert (explicit.address_map.home_of(LINE)
+                == default.address_map.home_of(LINE))
+
     def test_stall_detected(self, base4):
         """A CPU waiting on a barrier nobody else reaches is a stall."""
         with pytest.raises(SimulationError) as err:

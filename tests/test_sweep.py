@@ -1,0 +1,224 @@
+"""Sweep engine: job keys, on-disk cache, worker pool, crash capture.
+
+The parallel tests use the real ``spawn`` multiprocessing path at tiny
+workload scales, so they exercise exactly the code the artefact sweeps
+run — including the determinism-under-process-isolation guarantee the
+cache relies on.
+"""
+
+import json
+
+import pytest
+
+from repro.common import baseline, small
+from repro.harness import run_app
+from repro.harness.sweep import (
+    CACHE_FORMAT,
+    ResultCache,
+    SweepEngine,
+    SweepError,
+    SweepJob,
+    _execute_job,
+    job_key,
+)
+
+SCALE = 0.1
+
+
+def job(app="ocean", config=None, **kwargs):
+    return SweepJob(app=app,
+                    config=config if config is not None
+                    else baseline(num_nodes=4),
+                    scale=kwargs.pop("scale", SCALE), **kwargs)
+
+
+class TestJobKey:
+    def test_stable_across_instances(self):
+        assert job_key(job()) == job_key(job())
+
+    def test_key_is_hex_sha256(self):
+        key = job_key(job())
+        assert len(key) == 64
+        int(key, 16)
+
+    def test_every_field_matters(self):
+        base = job_key(job())
+        assert job_key(job(app="lu")) != base
+        assert job_key(job(seed=99)) != base
+        assert job_key(job(scale=0.2)) != base
+        assert job_key(job(num_cpus=2)) != base
+        assert job_key(job(check_coherence=False)) != base
+        assert job_key(job(config=small(num_nodes=4))) != base
+
+
+class TestSerialEngine:
+    def test_matches_direct_run_app(self):
+        direct = run_app("ocean", baseline(num_nodes=4), scale=SCALE)
+        swept = SweepEngine().run_app("ocean", baseline(num_nodes=4),
+                                      scale=SCALE)
+        assert swept.metrics == direct.metrics
+        assert swept.consumer_hist == direct.consumer_hist
+        assert swept.stats == direct.stats
+
+    def test_list_input_keyed_by_index(self):
+        runs = SweepEngine().run_many([job(), job(app="lu")])
+        assert set(runs) == {0, 1}
+        assert runs[0].app == "ocean"
+        assert runs[1].app == "lu"
+
+    def test_identical_jobs_deduped(self):
+        engine = SweepEngine()
+        runs = engine.run_many({"a": job(), "b": job()})
+        assert engine.last_report.total == 2
+        assert engine.last_report.unique == 1
+        assert engine.last_report.executed == 1
+        assert runs["a"].stats == runs["b"].stats
+
+    def test_crash_carries_key_and_traceback(self):
+        bad = job(app="no_such_app")
+        with pytest.raises(SweepError) as err:
+            SweepEngine().run_many([bad])
+        assert err.value.key == job_key(bad)
+        assert "no_such_app" in err.value.worker_traceback
+
+
+class TestCache:
+    def test_second_run_executes_nothing(self, tmp_path):
+        engine = SweepEngine(cache=True, cache_dir=str(tmp_path))
+        first = engine.run_many([job()])
+        assert engine.last_report.executed == 1
+        second = engine.run_many([job()])
+        assert engine.last_report.executed == 0
+        assert engine.last_report.cached == 1
+        assert second[0].metrics == first[0].metrics
+        assert second[0].stats == first[0].stats
+
+    def test_entry_layout_is_sharded_json(self, tmp_path):
+        engine = SweepEngine(cache=True, cache_dir=str(tmp_path))
+        engine.run_many([job()])
+        key = job_key(job())
+        path = tmp_path / key[:2] / (key + ".json")
+        assert path.is_file()
+        doc = json.loads(path.read_text())
+        assert doc["format"] == CACHE_FORMAT
+        assert doc["job"]["app"] == "ocean"
+        assert doc["result"]["cycles"] > 0
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        engine = SweepEngine(cache=True, cache_dir=str(tmp_path))
+        engine.run_many([job()])
+        key = job_key(job())
+        (tmp_path / key[:2] / (key + ".json")).write_text("{not json")
+        engine.run_many([job()])
+        assert engine.last_report.executed == 1
+
+    def test_format_mismatch_is_a_miss(self, tmp_path):
+        engine = SweepEngine(cache=True, cache_dir=str(tmp_path))
+        engine.run_many([job()])
+        key = job_key(job())
+        path = tmp_path / key[:2] / (key + ".json")
+        doc = json.loads(path.read_text())
+        doc["format"] = CACHE_FORMAT + 1
+        path.write_text(json.dumps(doc))
+        engine.run_many([job()])
+        assert engine.last_report.executed == 1
+
+    def test_cache_disabled_writes_nothing(self, tmp_path):
+        engine = SweepEngine(cache=False, cache_dir=str(tmp_path))
+        engine.run_many([job()])
+        assert list(tmp_path.iterdir()) == []
+
+    def test_get_missing_returns_none(self, tmp_path):
+        assert ResultCache(str(tmp_path)).get("0" * 64) is None
+
+
+class RecordingProgress:
+    def __init__(self):
+        self.events = []
+
+    def sweep_started(self, total, cached):
+        self.events.append(("started", total, cached))
+
+    def job_finished(self, key, job, elapsed, cached):
+        self.events.append(("job", cached))
+
+    def sweep_finished(self, report):
+        self.events.append(("finished", report.executed, report.cached))
+
+
+class TestProgressHooks:
+    def test_hooks_fire_in_order(self):
+        progress = RecordingProgress()
+        SweepEngine(progress=progress).run_many([job(), job(app="lu")])
+        assert progress.events[0] == ("started", 2, 0)
+        assert progress.events[1:3] == [("job", False), ("job", False)]
+        assert progress.events[3] == ("finished", 2, 0)
+
+    def test_cached_jobs_reported_as_cached(self, tmp_path):
+        engine = SweepEngine(cache=True, cache_dir=str(tmp_path))
+        engine.run_many([job()])
+        progress = RecordingProgress()
+        engine.progress = progress
+        engine.run_many([job()])
+        assert ("started", 1, 1) in progress.events
+        assert ("job", True) in progress.events
+
+
+@pytest.mark.slow
+class TestParallel:
+    """Real spawn-based pool; slow because workers re-import the package."""
+
+    def batch(self):
+        return {(app, name): SweepJob(app=app, config=config, scale=SCALE)
+                for app in ("ocean", "lu")
+                for name, config in {"base": baseline(num_nodes=4),
+                                     "small": small(num_nodes=4)}.items()}
+
+    def test_parallel_identical_to_serial(self):
+        serial = SweepEngine(jobs=1).run_many(self.batch())
+        parallel = SweepEngine(jobs=2).run_many(self.batch())
+        assert set(serial) == set(parallel)
+        for key in serial:
+            assert parallel[key].metrics == serial[key].metrics
+            assert parallel[key].stats == serial[key].stats
+            assert parallel[key].consumer_hist == serial[key].consumer_hist
+
+    def test_parallel_crash_carries_key_and_traceback(self):
+        jobs = dict(self.batch())
+        bad = SweepJob(app="no_such_app", config=baseline(num_nodes=4),
+                       scale=SCALE)
+        jobs["bad"] = bad
+        with pytest.raises(SweepError) as err:
+            SweepEngine(jobs=2).run_many(jobs)
+        assert err.value.key == job_key(bad)
+        assert "no_such_app" in err.value.worker_traceback
+
+    def test_parallel_populates_shared_cache(self, tmp_path):
+        engine = SweepEngine(jobs=2, cache=True, cache_dir=str(tmp_path))
+        engine.run_many(self.batch())
+        assert engine.last_report.executed == 4
+        engine.run_many(self.batch())
+        assert engine.last_report.executed == 0
+        assert engine.last_report.cached == 4
+
+
+@pytest.mark.slow
+class TestProcessIsolationDeterminism:
+    """The cache's core assumption: a simulation's results depend only on
+    the job content, not on which process runs it."""
+
+    def test_subprocess_matches_in_process(self):
+        the_job = job()
+        status, local = _execute_job(the_job)
+        assert status == "ok"
+
+        import multiprocessing
+        from concurrent import futures
+
+        context = multiprocessing.get_context("spawn")
+        with futures.ProcessPoolExecutor(max_workers=1,
+                                         mp_context=context) as pool:
+            status, remote = pool.submit(_execute_job, the_job).result()
+        assert status == "ok"
+        assert remote == local
+        assert remote["stats"] == local["stats"]
