@@ -22,6 +22,10 @@ Commands
     fan the simulations out over ``--jobs`` worker processes, replay
     finished ones from the on-disk cache, and optionally emit a
     pytest-benchmark-compatible timing record (see docs/performance.md).
+``lint``
+    Statically analyze the protocol sources: handler coverage,
+    sim <-> model-checker conformance, deadlock heuristics, state
+    reachability (see docs/static_analysis.md).
 """
 
 import argparse
@@ -158,6 +162,27 @@ def build_parser():
                               "record (BENCH_*.json style)")
     sweep_p.add_argument("--quiet", action="store_true",
                          help="suppress the progress/ETA line")
+
+    lint_p = sub.add_parser(
+        "lint", help="statically analyze the protocol sources")
+    lint_p.add_argument("--root", default=None, metavar="DIR",
+                        help="repro package directory to analyze "
+                             "(default: this installation's sources)")
+    lint_p.add_argument("--allowlist", default=None, metavar="FILE",
+                        help="allowlist file (default: lint_allowlist.txt "
+                             "at the repo root)")
+    lint_p.add_argument("--no-allowlist", action="store_true",
+                        help="report raw findings, ignoring any allowlist")
+    lint_p.add_argument("--json", dest="json_out", action="store_true",
+                        help="emit the machine-readable JSON report")
+    lint_p.add_argument("--sarif", metavar="OUT.sarif", default=None,
+                        help="also write a SARIF 2.1.0 report to OUT.sarif")
+    lint_p.add_argument("--fail-on", choices=["error", "warning", "note"],
+                        default="error",
+                        help="lowest severity that makes the exit code "
+                             "nonzero (default: %(default)s)")
+    lint_p.add_argument("--verbose", action="store_true",
+                        help="also list allowlisted findings")
     return parser
 
 
@@ -379,6 +404,23 @@ def _write_sweep_json(args, report, elapsed):
         json.dump(record, fileobj, indent=2, sort_keys=True)
 
 
+def cmd_lint(args):
+    from .lint import (Severity, render_json, render_sarif, render_text,
+                       run_lint)
+    report = run_lint(root=args.root, allowlist_path=args.allowlist,
+                      use_allowlist=not args.no_allowlist)
+    if args.json_out:
+        print(render_json(report))
+    else:
+        print(render_text(report, verbose=args.verbose))
+    if args.sarif:
+        with open(args.sarif, "w") as fileobj:
+            fileobj.write(render_sarif(report))
+        if not args.json_out:
+            print("wrote %s" % args.sarif)
+    return report.exit_code(fail_on=Severity(args.fail_on))
+
+
 COMMANDS = {
     "list": cmd_list,
     "run": cmd_run,
@@ -388,6 +430,7 @@ COMMANDS = {
     "trace": cmd_trace,
     "report": cmd_report,
     "sweep": cmd_sweep,
+    "lint": cmd_lint,
 }
 
 

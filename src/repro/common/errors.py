@@ -23,6 +23,27 @@ class ProtocolError(ReproError):
     """
 
 
+class UnhandledMessageError(ProtocolError):
+    """A message arrived at a node with no handler registered for it.
+
+    Carries the (node, message type, directory state) coordinates so a
+    runtime failure names the same transition a ``repro lint`` handler-
+    coverage finding would (check COV001/COV003).
+    """
+
+    def __init__(self, node, mtype, dir_state, msg, cycle=None):
+        self.node = node
+        self.mtype = mtype
+        self.dir_state = dir_state
+        self.msg = msg
+        self.cycle = cycle
+        where = "node %s" % node if cycle is None else \
+            "node %s @ cycle %s" % (node, cycle)
+        super().__init__(
+            "[%s] no handler for %s (directory state %s): %r"
+            % (where, getattr(mtype, "name", mtype), dir_state, msg))
+
+
 class SimulationError(ReproError):
     """The simulator was driven incorrectly (e.g. op stream misuse)."""
 

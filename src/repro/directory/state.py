@@ -13,12 +13,15 @@ Directory states:
     One or more read-only copies; memory is current.
 ``EXCL``
     A single owner may hold a modified copy; memory may be stale.
-``BUSY``
-    A transaction is in flight for this line; new requests are NACKed
-    (the SGI NACK/retry idiom, paper §2.3.4).
 ``DELE``
     Directory authority is delegated to ``delegate``; requests are
     forwarded there (paper §2.3.2).
+
+In-flight transactions (the SGI NACK/retry idiom, paper §2.3.4) are not a
+separate directory state: the entry keeps its stable state and carries a
+:class:`~repro.protocol.transactions.BusyRecord` in ``busy`` while a
+transaction is pending, and new requests are NACKed off the record's
+presence.
 """
 
 import enum
@@ -30,7 +33,6 @@ class DirState(enum.Enum):
     UNOWNED = "UNOWNED"
     SHARED = "SHARED"
     EXCL = "EXCL"
-    BUSY = "BUSY"
     DELE = "DELE"
 
 

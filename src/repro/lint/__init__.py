@@ -1,0 +1,86 @@
+"""repro.lint — static protocol analyzer.
+
+Extracts the protocol graph from the simulator sources (handler tables,
+message emissions) and from the abstract model checker, then runs a
+registry of static checks over them: handler coverage, sim ↔ model
+conformance diffing, deadlock/livelock heuristics, and state
+reachability.  See ``docs/static_analysis.md``.
+
+Entry point: :func:`run_lint` (also exposed as ``repro lint`` on the CLI).
+"""
+
+from pathlib import Path
+
+from .checks import run_checks
+from .extract import extract_mc, extract_sim, extract_state_usage
+from .findings import (Allowlist, Finding, LintReport,  # noqa: F401
+                       Severity)
+from .report import render_json, render_sarif, render_text  # noqa: F401
+
+#: Default allowlist file name, looked up at the repo root (two levels
+#: above the package: src/repro -> src -> repo).
+ALLOWLIST_NAME = "lint_allowlist.txt"
+
+
+def default_root():
+    """The installed ``repro`` package directory."""
+    return Path(__file__).resolve().parent.parent
+
+
+def default_allowlist_path(root):
+    """``lint_allowlist.txt`` next to the source tree, if present."""
+    candidate = Path(root).parent.parent / ALLOWLIST_NAME
+    return candidate if candidate.exists() else None
+
+
+def run_lint(root=None, allowlist_path=None, use_allowlist=True):
+    """Extract the protocol graphs under ``root`` and run every check.
+
+    ``root`` is the ``repro`` package directory (defaults to this
+    installation's own sources — the self-audit mode the CI gate runs).
+    ``allowlist_path`` overrides the allowlist location; ``use_allowlist``
+    False ignores any allowlist (mutation tests use this to see raw
+    findings).
+    """
+    root = Path(root) if root else default_root()
+    sim = extract_sim(root)
+    mc = extract_mc(root)
+    states = extract_state_usage(root)
+    findings = run_checks(sim, mc, states)
+
+    allowlist = None
+    if use_allowlist:
+        if allowlist_path is None:
+            allowlist_path = default_allowlist_path(root)
+        if allowlist_path is not None:
+            allowlist = Allowlist.load(allowlist_path)
+
+    kept, allowlisted = [], []
+    for finding in findings:
+        if allowlist is not None and allowlist.match(finding):
+            allowlisted.append(finding)
+        else:
+            kept.append(finding)
+    stale = allowlist.stale_entries() if allowlist is not None else []
+    for entry in stale:
+        kept.append(Finding(
+            check_id="ALW001", severity=Severity.WARNING,
+            fingerprint=entry.key, side="both",
+            message="allowlist entry %r matched no finding this run — "
+                    "remove it (justification was: %s)"
+                    % (entry.key, entry.reason),
+            file=str(allowlist.path) if allowlist else None,
+            line=entry.line))
+
+    return LintReport(
+        findings=kept, allowlisted=allowlisted, stale_allowlist=stale,
+        root=str(root),
+        allowlist_path=str(allowlist.path) if allowlist else None,
+        stats={
+            "sim_messages": len(sim.messages),
+            "sim_handled": len(sim.handlers),
+            "sim_funcs": len(sim.funcs),
+            "mc_messages": len(mc.messages),
+            "mc_handled": len(mc.handlers),
+            "state_enums": len(states),
+        })

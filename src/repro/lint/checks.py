@@ -1,0 +1,350 @@
+"""The check registry: every static check run over the protocol graphs.
+
+Check-id families (stable — mutation tests and the allowlist key on them):
+
+=========  =========  ===================================================
+check id   severity   meaning
+=========  =========  ===================================================
+COV001     error      a message is emitted but has no registered handler
+COV002     error      a declared message is never emitted (dead message)
+COV003     error      a declared sim MsgType has no handler entry
+CON001     error      sim message with no model counterpart (unmapped,
+                      unmodeled, or counterpart unhandled)
+CON002     error      model token with no sim counterpart
+CON003     warning    sim transition (handled msg -> emitted msg) with no
+                      matching model transition
+CON004     warning    model transition with no matching sim transition
+DLK001     warning    message-dependency cycle not broken by a NACK
+DLK002     warning    NACK handler re-emits a request with no retry bound
+RCH001     error      state no transition ever enters
+RCH002     warning    state entered but never examined (can't be left on
+                      purpose — no transition is conditioned on it)
+EXT001     note       emission whose MsgType could not be resolved
+                      statically (extraction blind spot)
+ALW001     warning    stale allowlist entry (matched nothing this run)
+=========  =========  ===================================================
+
+Each check yields :class:`~repro.lint.findings.Finding` objects with a
+*fingerprint* that is stable under reformatting, so the allowlist keys on
+meaning rather than on line numbers.
+"""
+
+from .conformance import mc_counterparts, sim_counterpart
+from .findings import Finding, Severity
+
+#: Messages that initiate work and are retried after a NACK; a retry edge
+#: re-emitting one of these with no bounding counter is a livelock risk.
+REQUEST_CLASS = {"GETS", "GETX", "UNDELE_REQ", "INTERVENTION"}
+
+#: Sim messages that break a dependency cycle by design (negative acks
+#: bounce work back to the requester instead of holding resources).
+NACK_FAMILY = {"NACK", "NACK_NOT_HOME"}
+
+
+def _first_site(emissions, name):
+    for emission in emissions:
+        if emission.mtype == name:
+            return emission
+    return None
+
+
+# -- COV: handler coverage ----------------------------------------------------
+
+
+def check_coverage(sim, mc):
+    """COV001/COV002/COV003 over both graphs."""
+    for graph in (sim, mc):
+        emissions = graph.all_emissions()
+        emitted = {e.mtype for e in emissions if e.mtype is not None}
+        # COV001: emitted but unhandled.
+        for name in sorted(emitted - set(graph.handlers)):
+            site = _first_site(emissions, name)
+            yield Finding(
+                check_id="COV001", severity=Severity.ERROR, side=graph.side,
+                fingerprint="%s:%s" % (graph.side, name),
+                message="%s message %s is emitted (e.g. in %s) but no "
+                        "handler is registered for it"
+                        % (graph.side, name, site.func if site else "?"),
+                file=site.file if site else None,
+                line=site.line if site else None)
+        # COV002: declared but never emitted (dead message).
+        for name in sorted(set(graph.messages) - emitted):
+            decl = graph.messages[name]
+            yield Finding(
+                check_id="COV002", severity=Severity.ERROR, side=graph.side,
+                fingerprint="%s:%s" % (graph.side, name),
+                message="%s message %s is declared but never emitted by "
+                        "any handler or entry point (dead message)"
+                        % (graph.side, name),
+                file=decl.file, line=decl.line)
+    # COV003: sim enum members missing from the dispatch table.  (The mc
+    # side has no separate declaration to diff against — its vocabulary
+    # *is* its handler set plus emissions, which COV001/COV002 cover.)
+    for name in sorted(set(sim.messages) - set(sim.handlers)):
+        decl = sim.messages[name]
+        yield Finding(
+            check_id="COV003", severity=Severity.ERROR, side="sim",
+            fingerprint=name,
+            message="MsgType.%s has no entry in the hub dispatch table "
+                    "(_handlers)" % name,
+            file=decl.file, line=decl.line)
+
+
+# -- CON: sim <-> mc conformance ----------------------------------------------
+
+
+def check_conformance(sim, mc):
+    """CON001/CON002 (vocabulary) and CON003/CON004 (transitions)."""
+    # CON001: every sim message needs a live model counterpart.
+    for name in sorted(sim.messages):
+        decl = sim.messages[name]
+        tokens = mc_counterparts(name)
+        if tokens is None:
+            yield Finding(
+                check_id="CON001", severity=Severity.ERROR, side="both",
+                fingerprint=name,
+                message="MsgType.%s has no entry in the sim<->mc "
+                        "conformance map (repro.lint.conformance)" % name,
+                file=decl.file, line=decl.line)
+            continue
+        handled = [t for t in tokens if t in mc.handlers]
+        if not handled:
+            detail = ("maps to no model token"
+                      if not tokens else
+                      "maps to %s, none of which the model handles"
+                      % "/".join(tokens))
+            yield Finding(
+                check_id="CON001", severity=Severity.ERROR, side="both",
+                fingerprint=name,
+                message="MsgType.%s %s" % (name, detail),
+                file=decl.file, line=decl.line)
+    # CON002: every model token needs a sim counterpart.
+    for token in sorted(mc.messages):
+        if sim_counterpart(token) is None:
+            decl = mc.messages[token]
+            yield Finding(
+                check_id="CON002", severity=Severity.ERROR, side="both",
+                fingerprint=token,
+                message="model token %s has no sim counterpart in the "
+                        "conformance map" % token,
+                file=decl.file, line=decl.line)
+    # CON003/CON004: per-message transition diff.  For each sim message
+    # whose counterpart the model handles, compare what each side can
+    # emit while handling it.
+    for name in sorted(sim.handlers):
+        tokens = mc_counterparts(name) or ()
+        handled = [t for t in tokens if t in mc.handlers]
+        if not handled:
+            continue  # vocabulary gap already reported by CON001
+        sim_out = sim.emitted_names(name)
+        mc_out = set()
+        for token in handled:
+            mc_out |= mc.emitted_names(token)
+        decl = sim.messages.get(name)
+        # sim transition missing from the model.
+        for out in sorted(sim_out):
+            out_tokens = mc_counterparts(out)
+            if out_tokens is None or not out_tokens:
+                continue  # unmapped/unmodeled output: CON001's business
+            if not (set(out_tokens) & mc_out):
+                yield Finding(
+                    check_id="CON003", severity=Severity.WARNING,
+                    side="both", fingerprint="%s->%s" % (name, out),
+                    message="sim handling of %s can emit %s, but the "
+                            "model's %s handler(s) never emit %s"
+                            % (name, out, "/".join(handled),
+                               "/".join(out_tokens)),
+                    file=decl.file if decl else None,
+                    line=decl.line if decl else None)
+        # model transition missing from the sim.
+        for out in sorted(mc_out):
+            sim_out_name = sim_counterpart(out)
+            if sim_out_name is None:
+                continue  # unmapped token: CON002's business
+            if sim_out_name not in sim_out:
+                yield Finding(
+                    check_id="CON004", severity=Severity.WARNING,
+                    side="both",
+                    fingerprint="%s->%s" % (name, sim_out_name),
+                    message="model handling of %s can emit %s (sim %s), "
+                            "but the sim's %s handler never emits it"
+                            % ("/".join(handled), out, sim_out_name, name),
+                    file=decl.file if decl else None,
+                    line=decl.line if decl else None)
+
+
+# -- DLK: deadlock / livelock heuristics --------------------------------------
+
+
+def _strongly_connected(graph):
+    """Tarjan's SCC over ``{node: set(successors)}``; iterative."""
+    index = {}
+    lowlink = {}
+    on_stack = set()
+    stack = []
+    sccs = []
+    counter = [0]
+
+    def strongconnect(root):
+        work = [(root, iter(sorted(graph.get(root, ()))))]
+        index[root] = lowlink[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            for succ in successors:
+                if succ not in graph:
+                    continue
+                if succ not in index:
+                    index[succ] = lowlink[succ] = counter[0]
+                    counter[0] += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(sorted(graph.get(succ, ())))))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                scc = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    scc.append(member)
+                    if member == node:
+                        break
+                sccs.append(scc)
+
+    for node in sorted(graph):
+        if node not in index:
+            strongconnect(node)
+    return sccs
+
+
+def check_deadlock(sim):
+    """DLK001 (cycles without a NACK) and DLK002 (unbounded retries)."""
+    digraph = sim.message_graph()
+    # Direct self-loops: handling X can re-emit X (e.g. a forward).  These
+    # are flagged even when X sits inside a larger NACK-containing SCC,
+    # because the self-edge itself never passes through the NACK.
+    for name in sorted(digraph):
+        if name in digraph[name] and name not in NACK_FAMILY:
+            anchor = sim.messages.get(name)
+            yield Finding(
+                check_id="DLK001", severity=Severity.WARNING, side="sim",
+                fingerprint="cycle:%s" % name,
+                message="handling %s can re-emit %s (forwarding "
+                        "self-loop); unbounded if the forward target can "
+                        "bounce it back" % (name, name),
+                file=anchor.file if anchor else None,
+                line=anchor.line if anchor else None)
+    # Multi-message cycles with no NACK to bounce work back.
+    for scc in _strongly_connected(digraph):
+        members = set(scc)
+        if len(scc) < 2 or members & NACK_FAMILY:
+            continue
+        cycle = ">".join(sorted(members))
+        anchor = sim.messages.get(sorted(members)[0])
+        yield Finding(
+            check_id="DLK001", severity=Severity.WARNING, side="sim",
+            fingerprint="cycle:%s" % cycle,
+            message="message-dependency cycle {%s} is not broken by a "
+                    "NACK; if every edge can block, this is a deadlock "
+                    "candidate" % ", ".join(sorted(members)),
+            file=anchor.file if anchor else None,
+            line=anchor.line if anchor else None)
+    # DLK002: a NACK handler that re-emits a request-class message on a
+    # path with no retry-bound comparison can livelock under contention.
+    for name in sorted(NACK_FAMILY & set(sim.handlers)):
+        for emission in sim.emissions_for(name):
+            if emission.mtype in REQUEST_CLASS and not emission.bounded:
+                yield Finding(
+                    check_id="DLK002", severity=Severity.WARNING,
+                    side="sim",
+                    fingerprint="%s->%s@%s" % (name, emission.mtype,
+                                               emission.func),
+                    message="%s handling re-emits %s in %s with no retry "
+                            "bound on the path (unbounded NACK/retry "
+                            "loop)" % (name, emission.mtype, emission.func),
+                    file=emission.file, line=emission.line)
+
+
+# -- RCH: state reachability --------------------------------------------------
+
+
+def check_reachability(state_usages):
+    """RCH001/RCH002 over the audited protocol enums."""
+    for enum_name in sorted(state_usages):
+        usage = state_usages[enum_name]
+        for member in sorted(usage.members):
+            info = usage.members[member]
+            stores, reads = info["stores"], info["reads"]
+            fingerprint = "%s.%s" % (enum_name, member)
+            if not stores:
+                yield Finding(
+                    check_id="RCH001", severity=Severity.ERROR, side="sim",
+                    fingerprint=fingerprint,
+                    message="%s.%s is never assigned anywhere in the "
+                            "source tree (%d read site(s)) — unreachable "
+                            "state" % (enum_name, member, len(reads)),
+                    file=usage.file, line=info["line"])
+            elif not reads:
+                yield Finding(
+                    check_id="RCH002", severity=Severity.WARNING,
+                    side="sim", fingerprint=fingerprint,
+                    message="%s.%s is assigned (%d site(s)) but no "
+                            "transition is ever conditioned on it — the "
+                            "state cannot be left on purpose"
+                            % (enum_name, member, len(stores)),
+                    file=usage.file, line=info["line"])
+
+
+# -- EXT: extraction blind spots ----------------------------------------------
+
+
+def check_extraction(sim, mc):
+    """EXT001: emission sites whose message type is statically opaque."""
+    for graph in (sim, mc):
+        seen = set()
+        for emission in graph.all_emissions():
+            if emission.mtype is not None:
+                continue
+            fingerprint = "%s:%s" % (graph.side, emission.func)
+            if fingerprint in seen:
+                continue
+            seen.add(fingerprint)
+            yield Finding(
+                check_id="EXT001", severity=Severity.NOTE, side=graph.side,
+                fingerprint=fingerprint,
+                message="%s emission in %s has a message type the "
+                        "extractor cannot resolve statically"
+                        % (graph.side, emission.func),
+                file=emission.file, line=emission.line)
+
+
+#: The registry, in report order.  Each entry is (callable, arg names);
+#: ``run_checks`` wires the extracted artefacts in by name.
+CHECKS = (
+    (check_coverage, ("sim", "mc")),
+    (check_conformance, ("sim", "mc")),
+    (check_deadlock, ("sim",)),
+    (check_reachability, ("states",)),
+    (check_extraction, ("sim", "mc")),
+)
+
+
+def run_checks(sim, mc, states):
+    """Run every registered check; return the flat finding list."""
+    artefacts = {"sim": sim, "mc": mc, "states": states}
+    findings = []
+    for check, args in CHECKS:
+        findings.extend(check(*[artefacts[a] for a in args]))
+    return findings

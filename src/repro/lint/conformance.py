@@ -1,0 +1,65 @@
+"""The sim ↔ model-checker message-name correspondence.
+
+The simulator (``repro.network.message.MsgType``) and the abstract model
+(``repro.mc.model``'s string tokens) are two independent encodings of the
+same protocol; they deliberately use different names.  This module is the
+single place that records the correspondence, so the conformance checks
+can diff the two transition systems.
+
+Each simulator message maps to a *tuple* of model tokens:
+
+* most map 1:1 under renaming (``SHARED_WB`` ↔ ``SH_WB``);
+* ``NACK`` fans out — the model splits the simulator's payload-discriminated
+  NACK (``{"for": "miss" | "intervention" | "recall"}``) into three tokens
+  (``NACK``, ``NACKI``, ``NACKR``);
+* an *empty* tuple documents in code that the message has no model
+  counterpart at all — the finding it produces must still be justified in
+  the allowlist file, which is the reviewed record of intentional gaps.
+
+A simulator message *absent* from this map is an error (CON001): adding a
+message without deciding its model status is exactly the drift this check
+exists to catch.
+"""
+
+#: sim MsgType name -> tuple of mc tokens it corresponds to.
+SIM_TO_MC = {
+    "GETS": ("GETS",),
+    "GETX": ("GETX",),
+    "DATA_SHARED": ("DATA_S",),
+    "DATA_EXCL": ("DATA_E",),
+    "ACK_X": ("ACK_X",),
+    "INV": ("INV",),
+    "INV_ACK": ("INV_ACK",),
+    "WRITEBACK": ("WB",),
+    "EVICT_CLEAN": ("EVC",),
+    "WB_ACK": (),  # model applies writebacks atomically; no ack round-trip
+    "NACK": ("NACK", "NACKI", "NACKR"),
+    "NACK_NOT_HOME": ("NACKNH",),
+    "DELEGATE": ("DELEGATE",),
+    "UNDELE": ("UNDELE",),
+    "UNDELE_REQ": ("UNDELE_REQ",),
+    "HOME_CHANGED": ("HC",),
+    "INTERVENTION": ("INT",),
+    "SHARED_WB": ("SH_WB",),
+    "SHARED_RESP": ("SH_RESP",),
+    "EXCL_RESP": ("EX_RESP",),
+    "XFER_OWNER": ("XFER",),
+    "UPDATE": ("UPDATE",),
+    "UPDATE_ACK": ("UPDATE_ACK",),
+}
+
+#: mc token -> sim MsgType name (derived; many-to-one for the NACK family).
+MC_TO_SIM = {}
+for _sim, _tokens in SIM_TO_MC.items():
+    for _token in _tokens:
+        MC_TO_SIM[_token] = _sim
+
+
+def mc_counterparts(sim_name):
+    """Model tokens for a sim message; None if the map doesn't know it."""
+    return SIM_TO_MC.get(sim_name)
+
+
+def sim_counterpart(mc_token):
+    """Sim message for a model token; None if the map doesn't know it."""
+    return MC_TO_SIM.get(mc_token)

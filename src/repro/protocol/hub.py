@@ -18,7 +18,7 @@ The class is assembled from three mixins that mirror the protocol roles:
 
 from ..cache.hierarchy import PrivateCacheHierarchy
 from ..cache.rac import RemoteAccessCache
-from ..common.errors import ProtocolError
+from ..common.errors import ProtocolError, UnhandledMessageError
 from ..common.rng import stream
 from ..directory.dircache import DirectoryCache
 from ..directory.formats import DirectoryFormat
@@ -105,7 +105,11 @@ class Hub(RequesterMixin, HomeMixin, ProducerMixin):
         """Entry point for every message delivered to this node."""
         handler = self._handlers.get(msg.mtype)
         if handler is None:
-            raise self._protocol_error("no handler for %r" % msg)
+            dir_state = None
+            if self.address_map.home_of(msg.addr) == self.node:
+                dir_state = self.home_memory.entry(msg.addr).state.value
+            raise UnhandledMessageError(self.node, msg.mtype, dir_state,
+                                        msg, cycle=self.events.now)
         handler(msg)
 
     def _route_request(self, msg):

@@ -242,8 +242,10 @@ class RequesterMixin:
             self.stats.inc(S.MISS_LOCAL)
         elif path is PathClass.TWO_HOP:
             self.stats.inc(S.MISS_2HOP)
-        else:
+        elif path is PathClass.THREE_HOP:
             self.stats.inc(S.MISS_3HOP)
+        else:
+            raise self._protocol_error("unclassified miss path %r" % path)
 
     # -- flow control ---------------------------------------------------------
 

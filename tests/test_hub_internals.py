@@ -9,7 +9,7 @@ import pytest
 
 from repro.cache import LineState
 from repro.common import baseline, small
-from repro.common.errors import ProtocolError
+from repro.common.errors import ProtocolError, UnhandledMessageError
 from repro.directory import DirState
 from repro.network import Message, MsgType
 from repro.sim import System
@@ -58,8 +58,17 @@ class TestRequestRouting:
             mtype = "not-a-type"
             addr = LINE
             src, dst = 0, 0
-        with pytest.raises(ProtocolError):
+        system.address_map.place_range(LINE, 128, 0)
+        with pytest.raises(ProtocolError) as excinfo:
             system.hubs[0].dispatch(Fake())
+        # The structured error names the same (node, message, directory
+        # state) coordinates a lint handler-coverage finding would.
+        err = excinfo.value
+        assert isinstance(err, UnhandledMessageError)
+        assert err.node == 0
+        assert err.mtype == "not-a-type"
+        assert err.dir_state == "UNOWNED"  # hub 0 homes LINE
+        assert "no handler" in str(err)
 
 
 class TestSpuriousMessages:

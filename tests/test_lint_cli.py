@@ -1,0 +1,51 @@
+"""The ``repro lint`` CLI subcommand."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.common.errors import ConfigError
+
+
+class TestLintCommand:
+    def test_clean_run_exits_zero(self, capsys):
+        assert main(["lint"]) == 0
+        out = capsys.readouterr().out
+        assert "clean: no findings above the allowlist" in out
+        assert "allowlisted" in out
+
+    def test_json_output(self, capsys):
+        assert main(["lint", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["summary"]["errors"] == 0
+        assert doc["allowlisted"]
+
+    def test_sarif_artifact(self, tmp_path, capsys):
+        out_path = tmp_path / "lint.sarif"
+        assert main(["lint", "--sarif", str(out_path)]) == 0
+        doc = json.loads(out_path.read_text())
+        assert doc["version"] == "2.1.0"
+        assert doc["runs"][0]["tool"]["driver"]["name"] == "repro-lint"
+
+    def test_no_allowlist_gates(self, capsys):
+        # Raw mode must surface the documented abstraction gaps as
+        # findings and flip the exit code.
+        assert main(["lint", "--no-allowlist"]) == 1
+        out = capsys.readouterr().out
+        assert "CON001:WB_ACK" in out
+
+    def test_fail_on_threshold(self, capsys):
+        # The raw warnings only gate once the threshold is lowered.
+        assert main(["lint", "--no-allowlist", "--fail-on", "note"]) == 1
+        capsys.readouterr()
+
+    def test_verbose_lists_allowlisted(self, capsys):
+        assert main(["lint", "--verbose"]) == 0
+        assert "CON001:WB_ACK" in capsys.readouterr().out
+
+    def test_broken_allowlist_is_a_config_error(self, tmp_path):
+        bad = tmp_path / "allow.txt"
+        bad.write_text("COV001:sim:GETS\n")  # no justification
+        with pytest.raises(ConfigError):
+            main(["lint", "--allowlist", str(bad)])

@@ -170,7 +170,7 @@ class TestRaces:
             [Write(LINE)],
             [Write(LINE)],
         ]
-        res = system.run(ops)
+        system.run(ops)
         states = [system.hubs[n].hierarchy.state_of(LINE) for n in (1, 2)]
         assert sorted(s.value for s in states) == ["I", "M"]
 
