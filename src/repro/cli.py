@@ -26,6 +26,11 @@ Commands
     Statically analyze the protocol sources: handler coverage,
     sim <-> model-checker conformance, deadlock heuristics, state
     reachability (see docs/static_analysis.md).
+``fuzz``
+    Randomized protocol stress fuzzing with network fault injection:
+    run a seed corpus through oracle-checked simulations, shrink any
+    failure to a deterministic repro artifact, or replay one
+    (see docs/fault_injection.md).
 """
 
 import argparse
@@ -183,6 +188,26 @@ def build_parser():
                              "nonzero (default: %(default)s)")
     lint_p.add_argument("--verbose", action="store_true",
                         help="also list allowlisted findings")
+
+    fuzz_p = sub.add_parser(
+        "fuzz", help="randomized protocol stress fuzzing (fault injection)")
+    fuzz_p.add_argument("--seeds", type=int, default=25, metavar="N",
+                        help="number of seeds to run (default: %(default)s)")
+    fuzz_p.add_argument("--seed-start", type=int, default=0, metavar="K",
+                        help="first seed of the corpus (default: 0)")
+    fuzz_p.add_argument("--scale", type=float, default=1.0)
+    fuzz_p.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes (default: 1, in-process)")
+    fuzz_p.add_argument("--out-dir", default=None, metavar="DIR",
+                        help="repro-artifact directory "
+                             "(default: .repro_cache/fuzz)")
+    fuzz_p.add_argument("--no-shrink", action="store_true",
+                        help="write failures unminimised")
+    fuzz_p.add_argument("--replay", metavar="ARTIFACT", default=None,
+                        help="replay one repro artifact instead of running "
+                             "a corpus; exit 1 if it still reproduces")
+    fuzz_p.add_argument("--json", dest="json_out", action="store_true",
+                        help="emit a machine-readable JSON report")
     return parser
 
 
@@ -421,6 +446,68 @@ def cmd_lint(args):
     return report.exit_code(fail_on=Severity(args.fail_on))
 
 
+def cmd_fuzz(args):
+    from .fuzz import FUZZ_DIR, FuzzEngine, replay_artifact
+
+    if args.replay:
+        report = replay_artifact(args.replay)
+        if args.json_out:
+            print(json.dumps({
+                "artifact": report.path, "seed": report.seed,
+                "reproduced": report.reproduced,
+                "expected_oracle": report.expected_oracle,
+                "expected_digest": report.expected_digest,
+                "actual_digest": report.actual_digest,
+                "actual": report.actual.to_dict(),
+            }, indent=2, sort_keys=True))
+        elif report.reproduced:
+            print("REPRODUCED seed %d: %s\n  %s\n  digest %s"
+                  % (report.seed, report.actual.oracle,
+                     report.actual.message, report.actual_digest))
+        else:
+            print("no longer reproduces: seed %d (expected %s)\n"
+                  "  recorded digest %s\n  fresh run:     %s%s"
+                  % (report.seed, report.expected_oracle,
+                     report.expected_digest, report.actual_digest,
+                     "" if report.actual.ok
+                     else "  [still failing: %s]" % report.actual.oracle))
+        return 1 if report.reproduced else 0
+
+    engine = FuzzEngine(jobs=args.jobs,
+                        out_dir=args.out_dir or FUZZ_DIR,
+                        shrink=not args.no_shrink, scale=args.scale)
+    seeds = range(args.seed_start, args.seed_start + args.seeds)
+
+    def progress(seed, result):
+        if not args.json_out and not result.ok:
+            print("seed %d FAILED [%s] %s"
+                  % (seed, result.oracle, result.message))
+
+    started = time.time()
+    report = engine.run_corpus(seeds, progress=progress)
+    elapsed = time.time() - started
+    if args.json_out:
+        print(json.dumps({
+            "seeds": report.seeds, "passed": report.passed,
+            "elapsed_s": elapsed,
+            "failures": [{
+                "seed": f.seed, "oracle": f.result.oracle,
+                "message": f.result.message, "artifact": f.artifact_path,
+                "shrink_attempts": f.shrink_attempts,
+            } for f in report.failures],
+        }, indent=2, sort_keys=True))
+    else:
+        print("fuzz: %d/%d seeds clean (%.1fs)"
+              % (report.passed, len(report.seeds), elapsed))
+        for failure in report.failures:
+            print("  seed %d -> [%s] artifact %s (shrunk in %d attempts)\n"
+                  "    replay: python -m repro fuzz --replay %s"
+                  % (failure.seed, failure.shrunk_result.oracle,
+                     failure.artifact_path, failure.shrink_attempts,
+                     failure.artifact_path))
+    return 0 if report.ok else 1
+
+
 COMMANDS = {
     "list": cmd_list,
     "run": cmd_run,
@@ -431,6 +518,7 @@ COMMANDS = {
     "report": cmd_report,
     "sweep": cmd_sweep,
     "lint": cmd_lint,
+    "fuzz": cmd_fuzz,
 }
 
 

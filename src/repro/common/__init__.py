@@ -19,6 +19,7 @@ from .params import (
     SystemConfig,
     baseline,
     config_digest,
+    config_from_dict,
     config_to_dict,
     delegation_only,
     enhanced,
@@ -45,6 +46,7 @@ __all__ = [
     "SystemConfig",
     "baseline",
     "config_digest",
+    "config_from_dict",
     "config_to_dict",
     "delegation_only",
     "enhanced",

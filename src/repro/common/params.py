@@ -137,6 +137,16 @@ class ProtocolConfig:
     detector_kind: str = "simple"
     nack_retry_delay: int = 20  # cycles a requester backs off after a NACK
     max_retries: int = 10_000  # livelock tripwire, not a protocol feature
+    #: NACK retry pacing: "fixed" re-issues after ``nack_retry_delay`` every
+    #: time (the seed behaviour); "exp" doubles the delay per consecutive
+    #: NACK of one miss, capped at ``retry_backoff_cap``, breaking the
+    #: synchronised retry storms two NACKing nodes can ping-pong into.
+    retry_backoff: str = "fixed"
+    retry_backoff_cap: int = 640
+    #: Fraction of the (possibly backed-off) delay added as seeded random
+    #: jitter, e.g. 0.5 adds up to +50%.  0.0 keeps retries deterministic
+    #: relative to the base delay.
+    retry_jitter_frac: float = 0.0
 
     def __post_init__(self):
         if self.enable_updates and not self.enable_delegation:
@@ -151,6 +161,12 @@ class ProtocolConfig:
             raise ConfigError("detector counters need at least one bit")
         if self.detector_kind not in ("simple", "multiwriter"):
             raise ConfigError("unknown detector kind %r" % self.detector_kind)
+        if self.retry_backoff not in ("fixed", "exp"):
+            raise ConfigError("unknown retry backoff %r" % self.retry_backoff)
+        if self.retry_backoff_cap < self.nack_retry_delay:
+            raise ConfigError("retry_backoff_cap must be >= nack_retry_delay")
+        if not 0.0 <= self.retry_jitter_frac <= 1.0:
+            raise ConfigError("retry_jitter_frac must be in [0, 1]")
 
     @property
     def write_repeat_threshold(self):
@@ -285,6 +301,31 @@ def config_to_dict(config):
     processes and Python versions (unlike ``hash()``, which is salted).
     """
     return asdict(config)
+
+
+def config_from_dict(doc):
+    """Inverse of :func:`config_to_dict`: rebuild a :class:`SystemConfig`.
+
+    Accepts exactly the nested-dict shape ``config_to_dict`` produces (the
+    shape stored in sweep-cache entries and fuzz repro artifacts), so a
+    config survives a JSON round-trip bit-for-bit:
+    ``config_digest(config_from_dict(config_to_dict(c))) == config_digest(c)``.
+    """
+    doc = dict(doc)
+    return SystemConfig(
+        num_nodes=doc["num_nodes"],
+        l1=CacheConfig(**doc["l1"]),
+        l2=CacheConfig(**doc["l2"]),
+        rac=CacheConfig(**doc["rac"]),
+        delegate=DelegateCacheConfig(**doc["delegate"]),
+        network=NetworkConfig(**doc["network"]),
+        protocol=ProtocolConfig(**doc["protocol"]),
+        dram_latency=doc["dram_latency"],
+        directory_cache_entries=doc["directory_cache_entries"],
+        directory_format=doc["directory_format"],
+        line_size=doc["line_size"],
+        seed=doc["seed"],
+    )
 
 
 def config_digest(config):

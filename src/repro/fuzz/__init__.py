@@ -1,0 +1,43 @@
+"""Fault injection and randomized protocol stress fuzzing.
+
+The execution-level adversarial harness: seeded chaos at the network
+layer (:mod:`repro.network.chaos`), randomized scenario generation
+(:mod:`~repro.fuzz.scenarios`), oracle-checked runs
+(:mod:`~repro.fuzz.runner`, :mod:`~repro.fuzz.oracles`), greedy failure
+shrinking (:mod:`~repro.fuzz.shrink`) and deterministic repro artifacts
+with byte-for-byte replay (:mod:`~repro.fuzz.engine`).  CLI:
+``repro fuzz`` — see :doc:`docs/fault_injection.md`.
+"""
+
+from ..network.chaos import ChaosConfig, ChaosPolicy
+from .engine import (
+    FUZZ_DIR,
+    FuzzEngine,
+    FuzzFailure,
+    FuzzReport,
+    ReplayReport,
+    replay_artifact,
+)
+from .oracles import check_quiescence
+from .runner import CaseResult, build_workload, run_case
+from .scenarios import FuzzScenario, scenario_from_dict, scenario_to_dict
+from .shrink import shrink_scenario
+
+__all__ = [
+    "ChaosConfig",
+    "ChaosPolicy",
+    "FUZZ_DIR",
+    "FuzzEngine",
+    "FuzzFailure",
+    "FuzzReport",
+    "ReplayReport",
+    "replay_artifact",
+    "check_quiescence",
+    "CaseResult",
+    "build_workload",
+    "run_case",
+    "FuzzScenario",
+    "scenario_from_dict",
+    "scenario_to_dict",
+    "shrink_scenario",
+]

@@ -1,0 +1,195 @@
+"""The fuzz campaign driver: corpus runs, shrinking, artifacts, replay.
+
+:class:`FuzzEngine` turns a list of seeds into scenario runs (optionally
+fanned out over the sweep engine's worker pool), shrinks every failure
+(:mod:`repro.fuzz.shrink`) and writes a deterministic repro artifact per
+failing seed under ``.repro_cache/fuzz/<seed>.json``.  An artifact stores
+the original and shrunk scenarios *and* their full results, so
+
+* ``repro fuzz --replay <artifact>`` re-executes the shrunk scenario and
+  compares the fresh result digest byte-for-byte against the recorded
+  one — "reproduced" means the bug still exists, bit-identically;
+* a fixed artifact replays as "no longer reproduces", which is how the CI
+  fuzz-smoke job distinguishes a fixed bug from a flaky harness.
+"""
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from .runner import CaseResult, run_case
+from .scenarios import FuzzScenario, scenario_from_dict, scenario_to_dict
+
+#: Default artifact directory (beside the sweep cache).
+FUZZ_DIR = os.path.join(".repro_cache", "fuzz")
+
+#: Artifact format version.
+ARTIFACT_FORMAT = 1
+
+
+def _sweep_runner(job):
+    """Worker-side runner for pooled corpus execution (module-level so it
+    pickles by reference).  The scenario is re-derived from the seed —
+    :meth:`FuzzScenario.from_seed` is deterministic, so this reproduces
+    exactly what the parent rolled."""
+    scenario = FuzzScenario.from_seed(job.seed, scale=job.scale)
+    return run_case(scenario).to_dict()
+
+
+@dataclass
+class FuzzFailure:
+    """One failing seed, fully packaged."""
+
+    seed: int
+    result: CaseResult            # the original (unshrunk) failure
+    shrunk_result: CaseResult     # failure of the minimised scenario
+    artifact_path: Optional[str] = None
+    shrink_attempts: int = 0
+
+
+@dataclass
+class FuzzReport:
+    """What one corpus run did."""
+
+    seeds: List[int] = field(default_factory=list)
+    passed: int = 0
+    failures: List[FuzzFailure] = field(default_factory=list)
+
+    @property
+    def ok(self):
+        return not self.failures
+
+
+class FuzzEngine:
+    """Runs seed corpora and manages repro artifacts.
+
+    ``jobs`` > 1 fans scenario runs out over the sweep engine's process
+    pool; shrinking always happens in the parent (it is a sequential
+    search).  ``jobs=1`` runs everything in-process, which also makes
+    monkeypatched protocol mutations visible to the runs — the mutation
+    acceptance tests rely on that.
+    """
+
+    def __init__(self, jobs=1, out_dir=FUZZ_DIR, shrink=True,
+                 shrink_budget=24, scale=1.0):
+        self.jobs = jobs
+        self.out_dir = out_dir
+        self.shrink = shrink
+        self.shrink_budget = shrink_budget
+        self.scale = scale
+
+    # -- corpus runs --------------------------------------------------------
+
+    def run_corpus(self, seeds, progress=None):
+        """Run every seed; shrink + persist an artifact per failure."""
+        seeds = list(seeds)
+        results = self._run_scenarios(seeds)
+        report = FuzzReport(seeds=seeds)
+        for seed in seeds:
+            result = results[seed]
+            if result.ok:
+                report.passed += 1
+            else:
+                report.failures.append(self._package_failure(seed, result))
+            if progress is not None:
+                progress(seed, result)
+        return report
+
+    def _run_scenarios(self, seeds):
+        if self.jobs <= 1:
+            return {seed: run_case(FuzzScenario.from_seed(seed, self.scale))
+                    for seed in seeds}
+        from ..harness.sweep import SweepEngine, SweepJob
+
+        engine = SweepEngine(jobs=self.jobs, cache=False,
+                             runner=_sweep_runner)
+        jobs = {}
+        for seed in seeds:
+            scenario = FuzzScenario.from_seed(seed, self.scale)
+            jobs[seed] = SweepJob(app="fuzz", config=scenario.config,
+                                  seed=seed, scale=self.scale,
+                                  chaos=scenario.chaos)
+        payloads = engine.run_many(jobs)
+        return {seed: CaseResult(**payload)
+                for seed, payload in payloads.items()}
+
+    def _package_failure(self, seed, result):
+        scenario = FuzzScenario.from_seed(seed, self.scale)
+        shrunk, shrunk_result, attempts = scenario, None, 0
+        if self.shrink:
+            from .shrink import shrink_scenario
+
+            shrunk, shrunk_result, attempts = shrink_scenario(
+                scenario, result, rerun=run_case,
+                budget=self.shrink_budget)
+        if shrunk_result is None:
+            # Nothing smaller still failed (or shrinking disabled): the
+            # artifact replays the original scenario.  Rerun it so the
+            # recorded result is exactly what a replay will regenerate.
+            shrunk, shrunk_result = scenario, run_case(scenario)
+        path = self._write_artifact(seed, scenario, result, shrunk,
+                                    shrunk_result, attempts)
+        return FuzzFailure(seed=seed, result=result,
+                           shrunk_result=shrunk_result,
+                           artifact_path=path, shrink_attempts=attempts)
+
+    # -- artifacts ----------------------------------------------------------
+
+    def _write_artifact(self, seed, scenario, result, shrunk, shrunk_result,
+                        attempts):
+        doc = {
+            "format": ARTIFACT_FORMAT,
+            "seed": seed,
+            "original": scenario_to_dict(scenario),
+            "original_result": result.to_dict(),
+            "shrunk": scenario_to_dict(shrunk),
+            "shrunk_result": shrunk_result.to_dict(),
+            "shrunk_digest": shrunk_result.digest,
+            "shrink_attempts": attempts,
+        }
+        os.makedirs(self.out_dir, exist_ok=True)
+        path = os.path.join(self.out_dir, "%d.json" % seed)
+        handle, tmp_path = tempfile.mkstemp(dir=self.out_dir, suffix=".tmp")
+        try:
+            with os.fdopen(handle, "w") as fileobj:
+                json.dump(doc, fileobj, indent=2, sort_keys=True)
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+        return path
+
+
+@dataclass
+class ReplayReport:
+    """Outcome of replaying one artifact."""
+
+    path: str
+    seed: int
+    reproduced: bool              # fresh run == recorded run, byte-for-byte
+    expected_oracle: Optional[str]
+    actual: CaseResult
+    expected_digest: str
+    actual_digest: str
+
+
+def replay_artifact(path):
+    """Re-execute an artifact's shrunk scenario and compare byte-for-byte."""
+    with open(path) as fileobj:
+        doc = json.load(fileobj)
+    if doc.get("format") != ARTIFACT_FORMAT:
+        raise ValueError("unknown fuzz artifact format %r"
+                         % doc.get("format"))
+    scenario = scenario_from_dict(doc["shrunk"])
+    expected = CaseResult(**doc["shrunk_result"])
+    actual = run_case(scenario)
+    return ReplayReport(path=path, seed=doc["seed"],
+                        reproduced=actual.digest == expected.digest,
+                        expected_oracle=expected.oracle, actual=actual,
+                        expected_digest=expected.digest,
+                        actual_digest=actual.digest)

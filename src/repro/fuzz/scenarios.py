@@ -1,0 +1,168 @@
+"""Randomized fuzz scenarios: one seed -> one fully-specified stress case.
+
+A :class:`FuzzScenario` pins everything a run needs — system config, chaos
+knobs, workload mix, event/cycle caps — so the same seed always produces
+the same simulation, the property every replay and shrinking step rests
+on.  :func:`FuzzScenario.from_seed` rolls the whole space from one named
+RNG stream; :func:`scenario_to_dict`/:func:`scenario_from_dict` round-trip
+a scenario through JSON for the on-disk repro artifacts.
+
+The rolled space deliberately leans on the protocol's nasty corners:
+tiny delegate tables (4 entries — the all-busy path), zero intervention
+delay, one-cycle NACK retry windows, 256-byte lines (the consumer-table
+set-index bug's trigger), and "storm" workload mixes that pile hot lines,
+false sharing and zero compute gaps onto a few addresses.
+"""
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
+
+from ..common.params import (
+    SystemConfig,
+    baseline,
+    config_from_dict,
+    config_to_dict,
+    enhanced,
+    rac_only,
+)
+from ..common.rng import stream
+from ..network.chaos import ChaosConfig, chaos_from_dict, chaos_to_dict
+
+#: Artifact/serialisation format version.
+SCENARIO_FORMAT = 1
+
+
+@dataclass(frozen=True)
+class FuzzScenario:
+    """One deterministic stress case (seed + everything the seed rolled)."""
+
+    seed: int
+    config: SystemConfig
+    chaos: Optional[ChaosConfig] = None
+    #: Workload mix: tuple of (kind, kwargs) where kind is "pc" or
+    #: "migratory"; multiple entries are merged into one combined trace.
+    workloads: Tuple[tuple, ...] = field(default_factory=tuple)
+    scale: float = 1.0
+    #: Hard caps so a livelocked case fails the termination oracle instead
+    #: of hanging the fuzzer.
+    max_cycles: int = 5_000_000
+    max_events: int = 5_000_000
+
+    @property
+    def num_cpus(self):
+        return self.config.num_nodes
+
+    @classmethod
+    def from_seed(cls, seed, scale=1.0):
+        """Roll a full scenario from ``seed`` (deterministic)."""
+        rng = stream(seed, "fuzz-scenario")
+        num_cpus = rng.choice((3, 4, 5, 6, 8))
+
+        preset = rng.random()
+        if preset < 0.15:
+            config = baseline(num_nodes=num_cpus)
+        elif preset < 0.30:
+            config = rac_only(num_nodes=num_cpus)
+        else:
+            # The interesting protocol (delegation + updates), biased
+            # toward tiny tables so capacity/all-busy paths actually fire.
+            config = enhanced(delegate_entries=rng.choice((4, 8, 32)),
+                              rac_bytes=rng.choice((4096, 32 * 1024)),
+                              num_nodes=num_cpus)
+        config = config.with_protocol(
+            intervention_delay=rng.choice((0, 5, 50)),
+            nack_retry_delay=rng.choice((1, 5, 20)),
+            retry_backoff=rng.choice(("fixed", "exp")),
+            retry_jitter_frac=rng.choice((0.0, 0.5)),
+        )
+        line_size = rng.choice((128, 128, 128, 256))
+        if line_size != config.line_size:
+            config = replace(
+                config, line_size=line_size,
+                l1=replace(config.l1, line_size=line_size),
+                l2=replace(config.l2, line_size=line_size),
+                rac=replace(config.rac, line_size=line_size))
+        config = replace(config, seed=seed)
+
+        chaos = None
+        if rng.random() >= 0.25:  # 25% of cases run fault-free
+            reorder = rng.random() < 0.5
+            chaos = ChaosConfig(
+                seed=seed,
+                delay_jitter=rng.choice((0, 20, 200)),
+                reorder_prob=0.3 if reorder else 0.0,
+                reorder_window=rng.choice((50, 400)) if reorder else 0,
+                duplicate_prob=rng.choice((0.0, 0.5)),
+                force_nack_prob=rng.choice((0.0, 0.2, 0.5)),
+                force_nack_budget=64,
+            )
+            if not chaos.enabled:
+                chaos = None
+
+        workloads = cls._roll_workloads(rng, num_cpus)
+        return cls(seed=seed, config=config, chaos=chaos,
+                   workloads=workloads, scale=scale)
+
+    @staticmethod
+    def _roll_workloads(rng, num_cpus):
+        def pc_kwargs(storm=False):
+            return {
+                "iterations": rng.randint(4, 8),
+                "lines_per_producer": rng.randint(1, 4),
+                "consumers": rng.randint(1, max(1, num_cpus - 2)),
+                "neighbor_consumers": rng.random() < 0.5,
+                "home_random_prob": rng.choice((0.0, 0.5, 1.0)),
+                "consumer_churn": rng.choice((0.0, 0.3)),
+                "compute": 0 if storm else rng.choice((0, 50, 300)),
+                "op_gap": 1 if storm else rng.choice((1, 8)),
+                "hot_lines": 3 if storm else rng.choice((0, 0, 2)),
+                "false_share_pairs": 2 if storm else rng.choice((0, 0, 1)),
+            }
+
+        def migratory_kwargs():
+            return {
+                "lines": rng.randint(1, 4),
+                "iterations": rng.randint(4, 8),
+                "compute": rng.choice((0, 50, 300)),
+                "op_gap": rng.choice((1, 8)),
+            }
+
+        kind = rng.choice(("pc", "pc", "migratory", "mixed", "storm"))
+        if kind == "pc":
+            return (("pc", pc_kwargs()),)
+        if kind == "storm":
+            return (("pc", pc_kwargs(storm=True)),)
+        if kind == "migratory":
+            return (("migratory", migratory_kwargs()),)
+        return (("pc", pc_kwargs()), ("migratory", migratory_kwargs()))
+
+
+def scenario_to_dict(scenario):
+    """JSON-safe dict form of a scenario (the repro-artifact encoding)."""
+    return {
+        "format": SCENARIO_FORMAT,
+        "seed": scenario.seed,
+        "scale": scenario.scale,
+        "config": config_to_dict(scenario.config),
+        "chaos": chaos_to_dict(scenario.chaos),
+        "workloads": [[kind, dict(kwargs)]
+                      for kind, kwargs in scenario.workloads],
+        "max_cycles": scenario.max_cycles,
+        "max_events": scenario.max_events,
+    }
+
+
+def scenario_from_dict(doc):
+    """Inverse of :func:`scenario_to_dict`."""
+    if doc.get("format") != SCENARIO_FORMAT:
+        raise ValueError("unknown scenario format %r" % doc.get("format"))
+    return FuzzScenario(
+        seed=doc["seed"],
+        scale=doc["scale"],
+        config=config_from_dict(doc["config"]),
+        chaos=chaos_from_dict(doc["chaos"]),
+        workloads=tuple((kind, dict(kwargs))
+                        for kind, kwargs in doc["workloads"]),
+        max_cycles=doc["max_cycles"],
+        max_events=doc["max_events"],
+    )

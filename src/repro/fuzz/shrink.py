@@ -1,0 +1,116 @@
+"""Greedy failure minimisation: drop faults first, then drop work.
+
+Given a failing scenario, :func:`shrink_scenario` tries progressively
+smaller variants, keeping each one only if it still fails with the *same
+oracle* (so a shrink never silently trades one bug for another).  The
+steps, in order:
+
+1. **Drop faults** — zero each chaos knob individually, then drop chaos
+   entirely.  A failure that survives fault removal is a plain sim bug and
+   its repro no longer depends on the fault schedule at all.
+2. **Drop work** — remove whole sub-workloads from a mix, then halve
+   iteration/line counts toward their floors, then cut the node count.
+
+Every step builds its candidate from the *current best* (the last accepted
+shrink), so accepted reductions compose and the result is monotonically
+smaller.  Every candidate costs one full simulation, so ``budget`` caps
+the total; fuzz cases run in fractions of a second, and the walk is
+strictly forward (no step ever reruns).
+
+``rerun`` is injectable for tests (and so the engine can route candidate
+runs anywhere); it must behave like :func:`repro.fuzz.runner.run_case`.
+"""
+
+from dataclasses import replace
+
+from ..common.errors import ConfigError, ReproError
+
+
+def shrink_scenario(scenario, failure, rerun, budget=24):
+    """Minimise ``scenario`` while it keeps failing like ``failure``.
+
+    Returns ``(shrunk_scenario, shrunk_result, attempts)`` — the smallest
+    variant found (possibly the original), the :class:`CaseResult` it
+    produced (None when no candidate was ever accepted; callers then rerun
+    the original), and how many candidate runs were spent.
+    """
+    attempts = 0
+    best, best_result = scenario, None
+    for step in _fault_steps() + _work_steps():
+        if attempts >= budget:
+            break
+        candidate = step(best)
+        if candidate is None or candidate == best:
+            continue
+        attempts += 1
+        try:
+            result = rerun(candidate)
+        except (ConfigError, ReproError):
+            continue  # candidate was not even runnable; keep shrinking
+        if not result.ok and result.oracle == failure.oracle:
+            best, best_result = candidate, result
+    return best, best_result, attempts
+
+
+# -- step builders (each returns scenario -> candidate | None) --------------
+
+
+def _fault_steps():
+    def zero_knob(knob):
+        def step(scenario):
+            chaos = scenario.chaos
+            if chaos is None or not getattr(chaos, knob):
+                return None
+            zeroed = {knob: 0 if knob == "delay_jitter" else 0.0}
+            if knob == "reorder_prob":
+                zeroed["reorder_window"] = 0
+            return replace(scenario, chaos=replace(chaos, **zeroed))
+        return step
+
+    def drop_chaos(scenario):
+        if scenario.chaos is None:
+            return None
+        return replace(scenario, chaos=None)
+
+    return [zero_knob(knob) for knob in
+            ("duplicate_prob", "force_nack_prob", "reorder_prob",
+             "delay_jitter")] + [drop_chaos]
+
+
+def _work_steps():
+    def drop_workload(index):
+        def step(scenario):
+            if len(scenario.workloads) <= 1 or index >= len(scenario.workloads):
+                return None
+            remaining = (scenario.workloads[:index]
+                         + scenario.workloads[index + 1:])
+            return replace(scenario, workloads=remaining)
+        return step
+
+    def halve(scenario):
+        shrunk = tuple((kind, _halved(kwargs))
+                       for kind, kwargs in scenario.workloads)
+        return replace(scenario, workloads=shrunk)
+
+    def cut_nodes(nodes):
+        def step(scenario):
+            if scenario.config.num_nodes <= nodes:
+                return None
+            return replace(scenario,
+                           config=replace(scenario.config, num_nodes=nodes))
+        return step
+
+    return [drop_workload(1), drop_workload(0), halve, halve,
+            cut_nodes(4), cut_nodes(3)]
+
+
+_SIZE_KEYS = {"iterations": 4, "lines_per_producer": 1, "lines": 1,
+              "hot_lines": 0, "false_share_pairs": 0}
+
+
+def _halved(kwargs):
+    halved = dict(kwargs)
+    for key, floor in _SIZE_KEYS.items():
+        if key in halved:
+            halved[key] = max(floor, halved[key] // 2)
+    return halved

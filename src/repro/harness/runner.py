@@ -48,16 +48,19 @@ def _resolve_tracer(trace):
 
 
 def run_app(app, config, num_cpus=None, seed=12345, scale=1.0,
-            check_coherence=True, trace=None):
+            check_coherence=True, trace=None, chaos=None):
     """Execute ``app`` on ``config`` and return an :class:`AppRun`.
 
     ``scale`` shrinks the workload (iterations and line counts) for quick
     runs; results at small scales are noisier but directionally faithful.
+    ``chaos`` (a :class:`~repro.network.ChaosConfig`) injects network
+    faults — see :mod:`repro.fuzz`.
     """
     cpus = num_cpus if num_cpus is not None else config.num_nodes
     build = get_workload(app, num_cpus=cpus, seed=seed, scale=scale).build()
     tracer = _resolve_tracer(trace)
-    system = System(config, check_coherence=check_coherence, tracer=tracer)
+    system = System(config, check_coherence=check_coherence, tracer=tracer,
+                    chaos=chaos)
     result = system.run(build.per_cpu_ops, placements=build.placements)
     return AppRun(app=app,
                   metrics=metrics_from_result(result),

@@ -52,10 +52,12 @@ from typing import Optional
 
 from ..common.errors import ReproError
 from ..common.params import config_digest, config_to_dict
+from ..network.chaos import chaos_to_dict
 from ..obs.metrics import Histogram, exponential_bounds
 
 #: Bump when the cached payload layout changes; old entries stop matching.
-CACHE_FORMAT = 1
+#: 2: job content grew a ``chaos`` field (fault injection, repro.fuzz).
+CACHE_FORMAT = 2
 
 #: Default cache location, relative to the current working directory.
 CACHE_DIR = ".repro_cache"
@@ -84,6 +86,7 @@ class SweepJob:
     scale: float = 1.0
     num_cpus: Optional[int] = None
     check_coherence: bool = True
+    chaos: Optional[object] = None  # ChaosConfig (fault injection) or None
 
     @property
     def key(self):
@@ -111,6 +114,7 @@ def job_key(job):
         "scale": job.scale,
         "num_cpus": job.num_cpus,
         "check_coherence": job.check_coherence,
+        "chaos": chaos_to_dict(job.chaos),
     }
     canonical = json.dumps(spec, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
@@ -123,9 +127,16 @@ def job_key(job):
 # ---------------------------------------------------------------------------
 
 
-def _execute_job(job):
-    """Run one job; never raises (errors come back as structured tuples)."""
+def _execute_job(job, runner=None):
+    """Run one job; never raises (errors come back as structured tuples).
+
+    ``runner`` overrides what "execute" means: a module-level callable
+    (it crosses the pickle channel by reference) taking the job and
+    returning a JSON-safe payload.  None means the default run_app path.
+    """
     try:
+        if runner is not None:
+            return ("ok", runner(job))
         return ("ok", _payload_from_run(_run_job(job)))
     except BaseException:
         return ("error", traceback.format_exc())
@@ -136,7 +147,8 @@ def _run_job(job):
 
     return run_app(job.app, job.config, num_cpus=job.num_cpus,
                    seed=job.seed, scale=job.scale,
-                   check_coherence=job.check_coherence)
+                   check_coherence=job.check_coherence,
+                   chaos=job.chaos)
 
 
 def _payload_from_run(run):
@@ -209,6 +221,7 @@ class ResultCache:
                 "scale": job.scale,
                 "num_cpus": job.num_cpus,
                 "check_coherence": job.check_coherence,
+                "chaos": chaos_to_dict(job.chaos),
             },
             "elapsed_s": elapsed,
             "result": payload,
@@ -331,14 +344,32 @@ class SweepEngine:
     with no multiprocessing involved.  ``cache`` turns the on-disk result
     cache on; ``cache_dir`` relocates it.  ``progress`` is a hook object
     (see :class:`SweepProgress`); None disables reporting.
+
+    ``runner``/``decoder`` repurpose the pool for non-AppRun work (the
+    fuzz engine's corpus runs ride the same dedupe/pool/progress
+    machinery): ``runner`` is a *module-level* callable ``job -> JSON-safe
+    payload`` executed worker-side, ``decoder`` a callable
+    ``(job, payload) -> result`` applied parent-side.  A custom runner is
+    incompatible with the cache (the runner's identity is not part of
+    :func:`job_key`, so cached entries could replay a different runner's
+    output).
     """
 
     def __init__(self, jobs=1, cache=False, cache_dir=CACHE_DIR,
-                 progress=None, mp_context="spawn"):
+                 progress=None, mp_context="spawn", runner=None,
+                 decoder=None):
         if jobs < 1:
             raise ValueError("jobs must be >= 1, got %r" % jobs)
+        if runner is not None and cache:
+            raise ValueError("a custom runner cannot use the result cache: "
+                             "job keys do not hash the runner's identity")
         self.jobs = jobs
         self.cache = ResultCache(cache_dir) if cache else None
+        self.runner = runner
+        if decoder is None:
+            decoder = _apprun_from_payload if runner is None \
+                else (lambda job, payload: payload)
+        self.decoder = decoder
         self.progress = progress if progress is not None else _NullProgress()
         self.mp_context = mp_context
         self.last_report = SweepReport()
@@ -390,8 +421,7 @@ class SweepEngine:
             elapsed=time.monotonic() - started, job_seconds=times)
         self.last_report = report
         self.progress.sweep_finished(report)
-        return {caller: _apprun_from_payload(jobs[caller],
-                                             payloads[content[caller]])
+        return {caller: self.decoder(jobs[caller], payloads[content[caller]])
                 for caller in jobs}
 
     # -- execution ---------------------------------------------------------
@@ -400,7 +430,7 @@ class SweepEngine:
         if self.jobs == 1 or len(misses) == 1:
             for key, job in misses.items():
                 job_started = time.monotonic()
-                status, payload = _execute_job(job)
+                status, payload = _execute_job(job, self.runner)
                 self._finish(key, job, status, payload, payloads, times,
                              time.monotonic() - job_started)
             return
@@ -413,7 +443,7 @@ class SweepEngine:
                                          mp_context=context) as pool:
             pending = {}
             for key, job in misses.items():
-                pending[pool.submit(_execute_job, job)] = (
+                pending[pool.submit(_execute_job, job, self.runner)] = (
                     key, job, time.monotonic())
             for future in futures.as_completed(pending):
                 key, job, job_started = pending[future]

@@ -1,7 +1,9 @@
 """Interconnect model: messages, fat-tree topology, delivery fabric."""
 
+from .chaos import ChaosConfig, ChaosPolicy, chaos_from_dict, chaos_to_dict
 from .fabric import Fabric
 from .message import Message, MsgType
 from .topology import FatTree
 
-__all__ = ["Fabric", "Message", "MsgType", "FatTree"]
+__all__ = ["Fabric", "Message", "MsgType", "FatTree",
+           "ChaosConfig", "ChaosPolicy", "chaos_from_dict", "chaos_to_dict"]

@@ -9,6 +9,7 @@ hub port contention".
 """
 
 from ..common.stats import MSG_BYTES, MSG_SENT
+from .message import Message
 from .topology import FatTree
 
 
@@ -29,11 +30,12 @@ class _HubPort:
 class Fabric:
     """Connects hubs; delivers messages with latency + port contention."""
 
-    def __init__(self, config, events, stats, tracer=None):
+    def __init__(self, config, events, stats, tracer=None, chaos=None):
         self.config = config
         self.events = events
         self.stats = stats
         self.tracer = tracer
+        self.chaos = chaos  # None = no fault injection (the fast path)
         self.topology = FatTree(config.num_nodes, config.network)
         self._ports = [_HubPort(config.network.hub_occupancy)
                        for _ in range(config.num_nodes)]
@@ -63,12 +65,30 @@ class Fabric:
             )
         latency = self.topology.latency(msg.src, msg.dst)
         arrival = self.events.now + latency
+        chaos = self.chaos if remote else None
+        if chaos is not None:
+            arrival = chaos.arrival(msg, arrival)
         deliver_at = self._ports[msg.dst].service_time(arrival)
         self.events.schedule_at(deliver_at, self._deliver, msg)
+        if chaos is not None:
+            dup_arrival = chaos.duplicate_arrival(msg, arrival)
+            if dup_arrival is not None:
+                # A fresh copy so the two deliveries never share a mutable
+                # payload dict (handlers write into payloads).
+                dup = Message(msg.mtype, src=msg.src, dst=msg.dst,
+                              addr=msg.addr, value=msg.value,
+                              payload=dict(msg.payload))
+                dup_at = self._ports[msg.dst].service_time(dup_arrival)
+                self.events.schedule_at(dup_at, self._deliver, dup)
 
     def _deliver(self, msg):
         handler = self._handlers[msg.dst]
         if handler is None:
             raise RuntimeError("no handler attached for node %d" % msg.dst)
         self.delivered += 1
+        if self.chaos is not None and msg.src != msg.dst:
+            nack = self.chaos.forced_nack(msg)
+            if nack is not None:
+                self.send(nack)
+                return
         handler(msg)

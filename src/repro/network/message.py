@@ -64,6 +64,20 @@ class MsgType(enum.Enum):
 _msg_ids = itertools.count()
 
 
+def reset_msg_ids():
+    """Restart the message-id sequence.
+
+    ``System`` calls this at construction so message numbering — which
+    appears in reprs, traces and ``ProtocolError`` text — is a pure
+    function of the run, not of how many messages earlier simulations in
+    the same process happened to allocate.  Without the reset, a fuzz
+    repro artifact whose failure message embeds a ``Msg#`` would never
+    replay byte-for-byte.
+    """
+    global _msg_ids
+    _msg_ids = itertools.count()
+
+
 @dataclass
 class Message:
     """One network packet.

@@ -33,14 +33,20 @@ class ProducerTable:
             self._entries[addr] = entry
         return entry
 
+    @property
+    def has_room(self):
+        """Whether an insert can proceed without evicting first."""
+        return len(self._entries) < self.capacity
+
     def victim_if_full(self):
         """The entry that must be undelegated before a new insert, if any.
 
         Prefers the oldest entry that is not mid-transaction; returns None
-        when there is room (or every entry is busy — in which case the
-        caller must decline the new delegation instead).
+        when there is room (check :attr:`has_room`) *or* when every entry
+        is busy — in which case the caller must decline the new delegation
+        instead of inserting.
         """
-        if len(self._entries) < self.capacity:
+        if self.has_room:
             return None
         for entry in self._entries.values():  # oldest first
             if (entry.busy is None and entry.pending_updates == 0
@@ -76,15 +82,19 @@ class ProducerTable:
 class ConsumerTable:
     """Set-associative hint store: line address -> delegated home node."""
 
-    def __init__(self, config, rng):
+    def __init__(self, config, rng, line_size=128):
         self.capacity = config.entries
         self.assoc = config.consumer_assoc
         self.num_sets = config.entries // config.consumer_assoc
         self._rng = rng
+        # Index by line number: with a shift narrower than the line (e.g. a
+        # hard-coded >>7 at 256-byte lines) consecutive lines land only on
+        # every other set, halving the table's effective capacity.
+        self._shift = line_size.bit_length() - 1
         self._sets = [dict() for _ in range(self.num_sets)]
 
     def _set_for(self, addr):
-        return self._sets[(addr >> 7) % self.num_sets]
+        return self._sets[(addr >> self._shift) % self.num_sets]
 
     def lookup(self, addr):
         """The hinted delegated home for ``addr``, or None."""

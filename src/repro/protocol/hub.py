@@ -64,9 +64,11 @@ class Hub(RequesterMixin, HomeMixin, ProducerMixin):
             self.producer_table = ProducerTable(self.config.delegate.entries)
             self.consumer_table = ConsumerTable(
                 self.config.delegate,
-                rng=stream(self.config.seed, "ct-%d" % node))
+                rng=stream(self.config.seed, "ct-%d" % node),
+                line_size=self.config.line_size)
 
         self.miss = None
+        self._retry_rng = stream(self.config.seed, "retry-%d" % node)
         self._intervention_epoch = {}
         self.fabric.attach(node, self.dispatch)
 

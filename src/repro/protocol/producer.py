@@ -58,7 +58,7 @@ class ProducerMixin:
     def _accept_delegation(self, addr, snapshot, value):
         """Install producer-table and pinned-RAC entries; False if no room."""
         victim = None
-        if len(self.producer_table) >= self.producer_table.capacity:
+        if not self.producer_table.has_room:
             victim = self.producer_table.victim_if_full()
             if victim is None:
                 return False  # every entry is mid-transaction
@@ -69,6 +69,12 @@ class ProducerMixin:
             self._undelegate(pinned_victim, reason="capacity")
         if victim is not None:
             self._undelegate(victim.addr, reason="capacity")
+        if not self.producer_table.has_room:
+            # The victim (or the pinned line) did not actually free a slot —
+            # its undelegation deferred, or the two eviction paths picked
+            # the same line.  Decline rather than hit insert's full-table
+            # ProtocolError: a declined delegation is always protocol-legal.
+            return False
         entry = DirectoryEntry(addr=addr, state=snapshot["state"],
                                sharers=set(snapshot["sharers"]),
                                owner=snapshot["owner"],

@@ -281,8 +281,29 @@ class RequesterMixin:
                 "miss for 0x%x exceeded %d retries (livelock?)"
                 % (miss.addr, self.config.protocol.max_retries))
         self.stats.inc(S.RETRIES)
-        self.events.schedule(self.config.protocol.nack_retry_delay,
+        self.events.schedule(self._retry_delay(miss.retries),
                              self._issue_miss, miss)
+
+    def _retry_delay(self, attempt):
+        """Back-off delay before re-issuing a miss after its ``attempt``-th
+        NACK (1-based).
+
+        The default ("fixed", no jitter) is the flat ``nack_retry_delay``
+        the paper implies.  "exp" doubles per consecutive NACK up to
+        ``retry_backoff_cap``; jitter adds a seeded random fraction on top.
+        Either knob desynchronises two requesters whose flat retry periods
+        would otherwise keep them NACKing each other in lock-step forever.
+        """
+        protocol = self.config.protocol
+        delay = protocol.nack_retry_delay
+        if protocol.retry_backoff == "exp":
+            delay = min(delay << min(attempt - 1, 16),
+                        protocol.retry_backoff_cap)
+        if protocol.retry_jitter_frac:
+            spread = int(delay * protocol.retry_jitter_frac)
+            if spread:
+                delay += self._retry_rng.randrange(spread + 1)
+        return delay
 
     # -- inbound coherence actions against local caches -------------------------
 

@@ -78,6 +78,18 @@ class CoherenceChecker:
                 % (node, value, line_addr, t_start, t_complete,
                    sorted(legal), list(history)[-4:]))
 
+    # -- read-only views (the fuzz oracles inspect final state) --------------
+
+    def written_lines(self):
+        """Line addresses that have at least one committed write."""
+        return [line for line, history in self._writes.items() if history]
+
+    def last_write_value(self, line_addr):
+        """Value of the last committed write to ``line_addr`` (None if
+        the line was never written)."""
+        history = self._writes.get(line_addr)
+        return history[-1][1] if history else None
+
     def on_miss_complete(self, node, miss):
         """Hook invoked by the hub at every miss completion (no-op: the
         per-op hooks above carry the actual checks; kept as an extension

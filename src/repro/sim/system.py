@@ -21,7 +21,9 @@ from ..common.errors import SimulationError
 from ..common.events import EventQueue
 from ..common.stats import Stats
 from ..directory.placement import AddressMap
+from ..network.chaos import ChaosPolicy
 from ..network.fabric import Fabric
+from ..network.message import reset_msg_ids
 from ..protocol.hub import Hub
 from .barrier import BarrierManager
 from .coherence_check import CoherenceChecker
@@ -46,13 +48,18 @@ class RunResult:
 class System:
     """A ``num_nodes``-node cc-NUMA machine ready to execute one workload."""
 
-    def __init__(self, config, check_coherence=True, tracer=None):
+    def __init__(self, config, check_coherence=True, tracer=None, chaos=None):
+        reset_msg_ids()
         self.config = config
         self.events = EventQueue()
         self.stats = Stats()
         self.tracer = tracer  # None = tracing disabled (the no-op fast path)
+        # ``chaos`` may be a ChaosConfig or an already-built ChaosPolicy;
+        # None (or an all-zero config) keeps the unperturbed fast path.
+        self.chaos = ChaosPolicy.resolve(chaos, stats=self.stats)
         self.address_map = AddressMap(config.num_nodes)
-        self.fabric = Fabric(config, self.events, self.stats, tracer=tracer)
+        self.fabric = Fabric(config, self.events, self.stats, tracer=tracer,
+                             chaos=self.chaos)
         self.checker = CoherenceChecker(self) if check_coherence else None
         self.hubs = [Hub(node, self) for node in range(config.num_nodes)]
         self.processors = []

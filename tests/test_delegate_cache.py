@@ -93,6 +93,16 @@ class TestProducerTable:
         table.insert(128, entry(128))
         assert table.addresses() == [0, 128]
 
+    def test_has_room(self):
+        table = ProducerTable(2)
+        assert table.has_room
+        table.insert(0, entry(0))
+        assert table.has_room
+        table.insert(128, entry(128))
+        assert not table.has_room
+        table.remove(0)
+        assert table.has_room
+
 
 class TestConsumerTable:
     def make(self, entries=8, assoc=4):
@@ -136,3 +146,28 @@ class TestConsumerTable:
         table.insert(0, 1)
         table.insert(128, 2)
         assert len(table) == 2
+
+    @pytest.mark.parametrize("line_size", [64, 128, 256])
+    def test_consecutive_lines_spread_across_sets(self, line_size):
+        # Regression: the set index was computed with a hard-coded >>7,
+        # so at 256-byte lines consecutive lines only ever hit every
+        # other set and half the table's capacity was unreachable.
+        cfg = DelegateCacheConfig(entries=8, consumer_assoc=4)
+        table = ConsumerTable(cfg, rng=stream(3, "ct"), line_size=line_size)
+        addrs = [i * line_size for i in range(8)]  # 8 consecutive lines
+        for addr in addrs:
+            table.insert(addr, 1)
+        assert all(addr in table for addr in addrs)
+        assert len(table) == 8
+
+    def test_set_index_uses_line_size_shift(self):
+        cfg = DelegateCacheConfig(entries=8, consumer_assoc=4)  # 2 sets
+        table = ConsumerTable(cfg, rng=stream(3, "ct"), line_size=256)
+        # Same line number parity -> same set; insert 5 lines that all
+        # collide under the correct shift and check replacement kicks in.
+        stride = table.num_sets * 256
+        addrs = [i * stride for i in range(5)]
+        for addr in addrs:
+            table.insert(addr, 1)
+        assert len([a for a in addrs if a in table]) == 4
+        assert addrs[4] in table

@@ -1,0 +1,120 @@
+"""NACK retry pacing: fixed delay (seed behaviour) vs capped exponential
+backoff with seeded jitter.
+
+Regression for a fuzzing-exposed retry storm: with a fixed retry delay two
+nodes NACKed for the same line re-issue in lock-step forever (each retry
+finds the line busy with the *other* node's retry).  Exponential backoff
+plus per-node jitter desynchronises them while the ``fixed`` default keeps
+the seed's latency behaviour bit-identical.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.common import baseline
+from repro.common.errors import ConfigError
+from repro.fuzz import FuzzScenario, run_case
+from repro.sim import System
+
+
+def make_system(nack_retry_delay=10, retry_backoff="fixed",
+                retry_backoff_cap=640, retry_jitter_frac=0.0, seed=0):
+    cfg = baseline(num_nodes=4, seed=seed)
+    cfg = replace(cfg, protocol=replace(
+        cfg.protocol, nack_retry_delay=nack_retry_delay,
+        retry_backoff=retry_backoff, retry_backoff_cap=retry_backoff_cap,
+        retry_jitter_frac=retry_jitter_frac))
+    return System(cfg, check_coherence=False)
+
+
+class TestRetryDelay:
+    def test_fixed_ignores_attempt_number(self):
+        # The default policy must preserve the seed's latency exactly.
+        hub = make_system(nack_retry_delay=10).hubs[0]
+        assert [hub._retry_delay(n) for n in (1, 2, 5, 100)] == [10] * 4
+
+    def test_exp_doubles_per_attempt(self):
+        hub = make_system(nack_retry_delay=10, retry_backoff="exp",
+                          retry_backoff_cap=640).hubs[0]
+        assert [hub._retry_delay(n) for n in (1, 2, 3, 4)] == [10, 20, 40, 80]
+
+    def test_exp_caps(self):
+        hub = make_system(nack_retry_delay=10, retry_backoff="exp",
+                          retry_backoff_cap=35).hubs[0]
+        assert [hub._retry_delay(n) for n in (1, 2, 3, 4)] == [10, 20, 35, 35]
+
+    def test_exp_huge_attempt_does_not_overflow(self):
+        hub = make_system(nack_retry_delay=10, retry_backoff="exp",
+                          retry_backoff_cap=640).hubs[0]
+        assert hub._retry_delay(10_000) == 640
+
+    def test_jitter_bounded(self):
+        hub = make_system(nack_retry_delay=100,
+                          retry_jitter_frac=0.5).hubs[0]
+        delays = [hub._retry_delay(1) for _ in range(200)]
+        assert all(100 <= d <= 150 for d in delays)
+        assert len(set(delays)) > 1  # actually jitters
+
+    def test_jitter_deterministic_across_builds(self):
+        seq = [make_system(nack_retry_delay=100, retry_jitter_frac=0.5,
+                           seed=7).hubs[2]._retry_delay(1)
+               for _ in range(2)]
+        many_a = [make_system(nack_retry_delay=100, retry_jitter_frac=0.5,
+                              seed=7).hubs[2] for _ in range(2)]
+        seq_a = [many_a[0]._retry_delay(n % 4 + 1) for n in range(20)]
+        seq_b = [many_a[1]._retry_delay(n % 4 + 1) for n in range(20)]
+        assert seq_a == seq_b
+        assert seq[0] == seq[1]
+
+    def test_nodes_draw_independent_jitter(self):
+        system = make_system(nack_retry_delay=100, retry_jitter_frac=0.5)
+        seq0 = [system.hubs[0]._retry_delay(1) for _ in range(50)]
+        seq1 = [system.hubs[1]._retry_delay(1) for _ in range(50)]
+        assert seq0 != seq1  # per-node streams: no lock-step retries
+
+    def test_config_validation(self):
+        cfg = baseline().protocol
+        with pytest.raises(ConfigError):
+            replace(cfg, retry_backoff="bogus")
+        with pytest.raises(ConfigError):
+            replace(cfg, nack_retry_delay=100, retry_backoff_cap=50)
+        with pytest.raises(ConfigError):
+            replace(cfg, retry_jitter_frac=1.5)
+
+
+class TestPingPongRegression:
+    def test_fixed_delays_are_lockstep(self):
+        """Two contending nodes under the fixed policy re-issue after
+        identical delays every round — the livelock precondition."""
+        system = make_system(nack_retry_delay=20)
+        a, b = system.hubs[1], system.hubs[2]
+        assert all(a._retry_delay(n) == b._retry_delay(n)
+                   for n in range(1, 10))
+
+    def test_backoff_with_jitter_desynchronizes(self):
+        system = make_system(nack_retry_delay=20, retry_backoff="exp",
+                             retry_backoff_cap=640, retry_jitter_frac=0.5)
+        a, b = system.hubs[1], system.hubs[2]
+        delays_a = [a._retry_delay(n) for n in range(1, 10)]
+        delays_b = [b._retry_delay(n) for n in range(1, 10)]
+        assert delays_a != delays_b
+
+    @pytest.mark.parametrize("backoff,jitter", [("fixed", 0.0),
+                                                ("exp", 0.5)])
+    def test_contended_workload_completes(self, backoff, jitter):
+        """A hot-line storm (everyone hammering a few lines) drains under
+        both policies and trips none of the fuzz oracles."""
+        cfg = baseline(num_nodes=4, seed=3)
+        cfg = replace(cfg, protocol=replace(
+            cfg.protocol, nack_retry_delay=5, retry_backoff=backoff,
+            retry_jitter_frac=jitter))
+        storm = ("pc", {"iterations": 6, "lines_per_producer": 1,
+                        "consumers": 2, "neighbor_consumers": False,
+                        "home_random_prob": 0.0, "consumer_churn": 0.0,
+                        "compute": 0, "op_gap": 1, "hot_lines": 3,
+                        "false_share_pairs": 2})
+        scenario = FuzzScenario(seed=3, config=cfg, workloads=(storm,))
+        result = run_case(scenario)
+        assert result.ok, result.message
+        assert result.cycles > 0
