@@ -31,6 +31,10 @@ Commands
     run a seed corpus through oracle-checked simulations, shrink any
     failure to a deterministic repro artifact, or replay one
     (see docs/fault_injection.md).
+``serve``
+    Run the async sweep/fuzz job service: an HTTP JSON API over a
+    persistent worker fleet with a shared deduplicating result cache,
+    SSE progress streams and a live dashboard (see docs/serving.md).
 """
 
 import argparse
@@ -208,6 +212,39 @@ def build_parser():
                              "a corpus; exit 1 if it still reproduces")
     fuzz_p.add_argument("--json", dest="json_out", action="store_true",
                         help="emit a machine-readable JSON report")
+    fuzz_p.add_argument("--cache", action="store_true",
+                        help="replay finished corpus runs from the shared "
+                             "result cache (pooled runs only)")
+    fuzz_p.add_argument("--cache-dir", default=None,
+                        help="result-cache location "
+                             "(default: %s)" % sweep_mod.CACHE_DIR)
+
+    serve_p = sub.add_parser(
+        "serve", help="run the async sweep/fuzz job service")
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument("--port", type=int, default=8642,
+                         help="listen port; 0 picks an ephemeral port "
+                              "(default: %(default)s)")
+    serve_p.add_argument("--workers", type=int, default=None, metavar="N",
+                         help="worker fleet width (default: all CPU "
+                              "cores; 0 runs jobs inline on threads)")
+    serve_p.add_argument("--cache-dir", default=sweep_mod.CACHE_DIR,
+                         help="shared result-cache location "
+                              "(default: %(default)s)")
+    serve_p.add_argument("--cache-budget-mb", type=float, default=256.0,
+                         metavar="MB",
+                         help="LRU size budget for the result cache "
+                              "(default: %(default)s; 0 disables "
+                              "eviction)")
+    serve_p.add_argument("--client-budget", type=int, default=4, metavar="N",
+                         help="max concurrently-executing units per "
+                              "client (default: %(default)s)")
+    serve_p.add_argument("--max-retries", type=int, default=2, metavar="N",
+                         help="retries (with backoff) after a worker "
+                              "crash (default: %(default)s)")
+    serve_p.add_argument("--port-file", default=None, metavar="PATH",
+                         help="also write the bound port to PATH (for "
+                              "scripts wrapping --port 0)")
     return parser
 
 
@@ -475,7 +512,8 @@ def cmd_fuzz(args):
 
     engine = FuzzEngine(jobs=args.jobs,
                         out_dir=args.out_dir or FUZZ_DIR,
-                        shrink=not args.no_shrink, scale=args.scale)
+                        shrink=not args.no_shrink, scale=args.scale,
+                        cache=args.cache, cache_dir=args.cache_dir)
     seeds = range(args.seed_start, args.seed_start + args.seeds)
 
     def progress(seed, result):
@@ -508,6 +546,39 @@ def cmd_fuzz(args):
     return 0 if report.ok else 1
 
 
+def cmd_serve(args):
+    import asyncio
+
+    from .serve import JobService, ServiceConfig
+    from .serve.api import serve as serve_async
+
+    workers = args.workers if args.workers is not None \
+        else (os.cpu_count() or 1)
+    budget = int(args.cache_budget_mb * 1024 * 1024) \
+        if args.cache_budget_mb else None
+    config = ServiceConfig(host=args.host, port=args.port, workers=workers,
+                           cache_dir=args.cache_dir, cache_budget=budget,
+                           client_budget=args.client_budget,
+                           max_retries=args.max_retries)
+    service = JobService(config)
+
+    def ready(port):
+        print("repro.serve listening on http://%s:%d  (workers=%d, "
+              "cache=%s, budget=%s)"
+              % (args.host, port, workers, args.cache_dir,
+                 "%.0f MB" % args.cache_budget_mb if budget else "off"),
+              flush=True)
+        if args.port_file:
+            with open(args.port_file, "w") as fileobj:
+                fileobj.write("%d\n" % port)
+
+    try:
+        asyncio.run(serve_async(service, ready=ready))
+    except KeyboardInterrupt:
+        print("\nrepro.serve: shutting down")
+    return 0
+
+
 COMMANDS = {
     "list": cmd_list,
     "run": cmd_run,
@@ -519,6 +590,7 @@ COMMANDS = {
     "sweep": cmd_sweep,
     "lint": cmd_lint,
     "fuzz": cmd_fuzz,
+    "serve": cmd_serve,
 }
 
 

@@ -19,7 +19,7 @@ import tempfile
 from dataclasses import dataclass, field
 from typing import List, Optional
 
-from .runner import CaseResult, run_case
+from .runner import CaseResult, run_case, run_seed_payload
 from .scenarios import FuzzScenario, scenario_from_dict, scenario_to_dict
 
 #: Default artifact directory (beside the sweep cache).
@@ -29,13 +29,6 @@ FUZZ_DIR = os.path.join(".repro_cache", "fuzz")
 ARTIFACT_FORMAT = 1
 
 
-def _sweep_runner(job):
-    """Worker-side runner for pooled corpus execution (module-level so it
-    pickles by reference).  The scenario is re-derived from the seed —
-    :meth:`FuzzScenario.from_seed` is deterministic, so this reproduces
-    exactly what the parent rolled."""
-    scenario = FuzzScenario.from_seed(job.seed, scale=job.scale)
-    return run_case(scenario).to_dict()
 
 
 @dataclass
@@ -73,12 +66,15 @@ class FuzzEngine:
     """
 
     def __init__(self, jobs=1, out_dir=FUZZ_DIR, shrink=True,
-                 shrink_budget=24, scale=1.0):
+                 shrink_budget=24, scale=1.0, cache=False,
+                 cache_dir=None):
         self.jobs = jobs
         self.out_dir = out_dir
         self.shrink = shrink
         self.shrink_budget = shrink_budget
         self.scale = scale
+        self.cache = cache
+        self.cache_dir = cache_dir
 
     # -- corpus runs --------------------------------------------------------
 
@@ -98,13 +94,16 @@ class FuzzEngine:
         return report
 
     def _run_scenarios(self, seeds):
-        if self.jobs <= 1:
+        if self.jobs <= 1 and not self.cache:
             return {seed: run_case(FuzzScenario.from_seed(seed, self.scale))
                     for seed in seeds}
-        from ..harness.sweep import SweepEngine, SweepJob
+        from ..harness.sweep import CACHE_DIR, SweepEngine, SweepJob
 
-        engine = SweepEngine(jobs=self.jobs, cache=False,
-                             runner=_sweep_runner)
+        # The runner's identity is hashed into every job key, so corpus
+        # results can share the on-disk cache with simulation payloads.
+        engine = SweepEngine(jobs=self.jobs, cache=self.cache,
+                             cache_dir=self.cache_dir or CACHE_DIR,
+                             runner=run_seed_payload)
         jobs = {}
         for seed in seeds:
             scenario = FuzzScenario.from_seed(seed, self.scale)

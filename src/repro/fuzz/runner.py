@@ -98,6 +98,24 @@ def build_workload(scenario):
                          shared_lines=shared_lines)
 
 
+def run_seed_payload(job):
+    """Module-level sweep-pool runner: seed+scale -> CaseResult dict.
+
+    This is the worker-side entry point both the fuzz engine's pooled
+    corpus runs and the repro.serve fuzz jobs submit (it pickles by
+    reference).  The scenario is re-derived from the seed —
+    :meth:`~repro.fuzz.scenarios.FuzzScenario.from_seed` is
+    deterministic, so this reproduces exactly what the parent rolled.
+    Its identity is hashed into the sweep :func:`~repro.harness.sweep.job_key`,
+    which is what lets fuzz results share the result cache with
+    simulation payloads without ever aliasing them.
+    """
+    from .scenarios import FuzzScenario
+
+    scenario = FuzzScenario.from_seed(job.seed, scale=job.scale)
+    return run_case(scenario).to_dict()
+
+
 def run_case(scenario):
     """Run one scenario start-to-finish and return a :class:`CaseResult`."""
     build = build_workload(scenario)

@@ -57,10 +57,18 @@ from ..obs.metrics import Histogram, exponential_bounds
 
 #: Bump when the cached payload layout changes; old entries stop matching.
 #: 2: job content grew a ``chaos`` field (fault injection, repro.fuzz).
-CACHE_FORMAT = 2
+#: 3: job content grew a ``runner`` identity tag, so custom-runner jobs
+#:    (fuzz corpora, the repro.serve traced runner) can share the cache
+#:    without replaying another runner's output.
+CACHE_FORMAT = 3
 
 #: Default cache location, relative to the current working directory.
 CACHE_DIR = ".repro_cache"
+
+#: A lock older than this is presumed abandoned (a crashed holder) and is
+#: reclaimed.  Cache critical sections are file scans + unlinks, far below
+#: this.
+STALE_LOCK_SECONDS = 30.0
 
 
 class SweepError(ReproError):
@@ -99,12 +107,27 @@ class SweepJob:
             else self.config.num_nodes)
 
 
-def job_key(job):
+def runner_tag(runner):
+    """Stable identity of a custom runner, or None for the default path.
+
+    Module + qualname is what the pickle channel sends to workers, so two
+    runners share a tag exactly when the pool would execute the same code.
+    """
+    if runner is None:
+        return None
+    return "%s:%s" % (getattr(runner, "__module__", "?"),
+                      getattr(runner, "__qualname__", repr(runner)))
+
+
+def job_key(job, runner=None):
     """Deterministic content hash of a :class:`SweepJob`.
 
     Built from the canonical JSON of (app, config, seed, scale, num_cpus,
-    check_coherence, cache format), then folded through the config's
-    sha256 digest — stable across processes, sessions and machines.
+    check_coherence, runner identity, cache format), then folded through
+    the config's sha256 digest — stable across processes, sessions and
+    machines.  ``runner`` is the engine's custom runner (if any): its
+    identity is part of the key, so cached entries can never replay a
+    different runner's output.
     """
     spec = {
         "format": CACHE_FORMAT,
@@ -115,6 +138,7 @@ def job_key(job):
         "num_cpus": job.num_cpus,
         "check_coherence": job.check_coherence,
         "chaos": chaos_to_dict(job.chaos),
+        "runner": runner_tag(runner),
     }
     canonical = json.dumps(spec, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
@@ -180,6 +204,73 @@ def _apprun_from_payload(job, payload):
 # ---------------------------------------------------------------------------
 
 
+class CacheLock:
+    """A multi-process mutex: an ``os.O_EXCL``-created lockfile.
+
+    ``acquire`` spins (with a small sleep) until it wins the exclusive
+    create.  A lock whose file is older than ``stale_after`` seconds —
+    a holder that crashed mid-eviction — is *reclaimed*: the reclaimer
+    atomically renames the stale file aside (only one racer can win the
+    rename) and retries the create, so two processes can never both
+    believe they hold the lock.
+    """
+
+    def __init__(self, path, stale_after=STALE_LOCK_SECONDS, timeout=30.0,
+                 poll=0.01):
+        self.path = path
+        self.stale_after = stale_after
+        self.timeout = timeout
+        self.poll = poll
+        self._fd = None
+
+    def acquire(self):
+        deadline = time.monotonic() + self.timeout
+        while True:
+            try:
+                self._fd = os.open(self.path,
+                                   os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+                os.write(self._fd, b"%d\n" % os.getpid())
+                return self
+            except FileExistsError:
+                self._reclaim_if_stale()
+            if time.monotonic() >= deadline:
+                raise TimeoutError("could not acquire cache lock %s within "
+                                   "%.1fs" % (self.path, self.timeout))
+            time.sleep(self.poll)
+
+    def _reclaim_if_stale(self):
+        try:
+            age = time.time() - os.stat(self.path).st_mtime
+        except OSError:
+            return  # released (or reclaimed) under us: just retry acquire
+        if age < self.stale_after:
+            return
+        aside = "%s.stale.%d" % (self.path, os.getpid())
+        try:
+            os.replace(self.path, aside)  # one racer wins the rename
+        except OSError:
+            return
+        try:
+            os.unlink(aside)
+        except OSError:
+            pass
+
+    def release(self):
+        if self._fd is not None:
+            os.close(self._fd)
+            self._fd = None
+            try:
+                os.unlink(self.path)
+            except OSError:
+                pass
+
+    def __enter__(self):
+        return self.acquire()
+
+    def __exit__(self, *exc):
+        self.release()
+
+
 class ResultCache:
     """Content-addressed store of finished-job payloads under ``root``.
 
@@ -189,23 +280,53 @@ class ResultCache:
     key construction: keys hash the full job content plus
     :data:`CACHE_FORMAT`, so changing any input (or the payload layout)
     simply misses.
+
+    The cache is safe to share between processes: entry reads and writes
+    are lock-free (atomic replace means a reader sees either the old or
+    the new complete document), while eviction — the only multi-file
+    critical section — runs under an ``os.O_EXCL`` lockfile with
+    stale-lock reclamation (:class:`CacheLock`).
+
+    ``budget_bytes`` caps the total entry size: every ``put`` beyond the
+    budget evicts least-recently-used entries (hits bump an entry's
+    mtime) until the cache fits.  ``hits`` / ``misses`` / ``evictions``
+    counters feed the serving layer's metrics endpoint.
     """
 
-    def __init__(self, root=CACHE_DIR):
+    def __init__(self, root=CACHE_DIR, budget_bytes=None,
+                 stale_lock_after=STALE_LOCK_SECONDS):
         self.root = root
+        self.budget_bytes = budget_bytes
+        self.stale_lock_after = stale_lock_after
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
 
     def _path(self, key):
         return os.path.join(self.root, key[:2], key + ".json")
 
+    def _lock(self):
+        os.makedirs(self.root, exist_ok=True)
+        return CacheLock(os.path.join(self.root, ".evict.lock"),
+                         stale_after=self.stale_lock_after)
+
     def get(self, key):
         """The cached payload for ``key``, or None (corrupt entries miss)."""
+        path = self._path(key)
         try:
-            with open(self._path(key)) as fileobj:
+            with open(path) as fileobj:
                 doc = json.load(fileobj)
         except (OSError, ValueError):
+            self.misses += 1
             return None
         if doc.get("format") != CACHE_FORMAT:
+            self.misses += 1
             return None
+        self.hits += 1
+        try:
+            os.utime(path)  # bump recency for LRU eviction
+        except OSError:
+            pass  # entry evicted between read and touch: the read stands
         return doc.get("result")
 
     def put(self, key, job, payload, elapsed):
@@ -238,6 +359,72 @@ class ResultCache:
             except OSError:
                 pass
             raise
+        if self.budget_bytes is not None:
+            self._evict_over_budget(keep=key)
+
+    # -- eviction ----------------------------------------------------------
+
+    def _entries(self):
+        """[(mtime, size, path)] for every entry currently on disk."""
+        entries = []
+        try:
+            shards = os.listdir(self.root)
+        except OSError:
+            return entries
+        for shard in shards:
+            if len(shard) != 2:
+                continue
+            shard_dir = os.path.join(self.root, shard)
+            try:
+                names = os.listdir(shard_dir)
+            except OSError:
+                continue
+            for name in names:
+                if not name.endswith(".json"):
+                    continue
+                path = os.path.join(shard_dir, name)
+                try:
+                    stat = os.stat(path)
+                except OSError:
+                    continue  # evicted by a racer mid-scan
+                entries.append((stat.st_mtime, stat.st_size, path))
+        return entries
+
+    def size_bytes(self):
+        """Total bytes of cache entries on disk (scans the tree)."""
+        return sum(size for _, size, _ in self._entries())
+
+    def _evict_over_budget(self, keep=None):
+        """Unlink oldest-mtime entries until the cache fits the budget.
+
+        ``keep`` names the just-written key: it is never evicted, so a
+        budget smaller than one entry still serves the current job.
+        """
+        keep_path = self._path(keep) if keep is not None else None
+        with self._lock():
+            entries = sorted(self._entries())
+            total = sum(size for _, size, _ in entries)
+            for _, size, path in entries:
+                if total <= self.budget_bytes:
+                    break
+                if path == keep_path:
+                    continue
+                try:
+                    os.unlink(path)
+                except OSError:
+                    continue  # already gone: a racer evicted it
+                total -= size
+                self.evictions += 1
+
+    def stats(self):
+        """Hit/miss/eviction counters (this process's view of the cache)."""
+        total = self.hits + self.misses
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": (self.hits / total) if total else 0.0,
+        }
 
 
 # ---------------------------------------------------------------------------
@@ -346,25 +533,24 @@ class SweepEngine:
     (see :class:`SweepProgress`); None disables reporting.
 
     ``runner``/``decoder`` repurpose the pool for non-AppRun work (the
-    fuzz engine's corpus runs ride the same dedupe/pool/progress
-    machinery): ``runner`` is a *module-level* callable ``job -> JSON-safe
-    payload`` executed worker-side, ``decoder`` a callable
-    ``(job, payload) -> result`` applied parent-side.  A custom runner is
-    incompatible with the cache (the runner's identity is not part of
-    :func:`job_key`, so cached entries could replay a different runner's
-    output).
+    fuzz engine's corpus runs and the repro.serve job service ride the
+    same dedupe/pool/progress machinery): ``runner`` is a *module-level*
+    callable ``job -> JSON-safe payload`` executed worker-side,
+    ``decoder`` a callable ``(job, payload) -> result`` applied
+    parent-side.  The runner's identity is part of :func:`job_key`, so
+    custom-runner jobs share the cache without ever replaying a
+    different runner's output.  ``cache_budget`` (bytes) turns on LRU
+    eviction; see :class:`ResultCache`.
     """
 
     def __init__(self, jobs=1, cache=False, cache_dir=CACHE_DIR,
                  progress=None, mp_context="spawn", runner=None,
-                 decoder=None):
+                 decoder=None, cache_budget=None):
         if jobs < 1:
             raise ValueError("jobs must be >= 1, got %r" % jobs)
-        if runner is not None and cache:
-            raise ValueError("a custom runner cannot use the result cache: "
-                             "job keys do not hash the runner's identity")
         self.jobs = jobs
-        self.cache = ResultCache(cache_dir) if cache else None
+        self.cache = (ResultCache(cache_dir, budget_bytes=cache_budget)
+                      if cache else None)
         self.runner = runner
         if decoder is None:
             decoder = _apprun_from_payload if runner is None \
@@ -394,7 +580,8 @@ class SweepEngine:
         if not isinstance(jobs, dict):
             jobs = dict(enumerate(jobs))
         started = time.monotonic()
-        content = {caller: job_key(job) for caller, job in jobs.items()}
+        content = {caller: job_key(job, self.runner)
+                   for caller, job in jobs.items()}
         unique = {}
         for caller, job in jobs.items():
             unique.setdefault(content[caller], job)
@@ -402,15 +589,20 @@ class SweepEngine:
         payloads, times = {}, {}
         if self.cache is not None:
             for key in unique:
+                lookup_started = time.monotonic()
                 hit = self.cache.get(key)
                 if hit is not None:
                     payloads[key] = hit
+                    # Hits land in job_seconds too (as replay time), so
+                    # per-job latency views cover the whole batch.
+                    times[key] = time.monotonic() - lookup_started
         misses = {key: job for key, job in unique.items()
                   if key not in payloads}
 
         self.progress.sweep_started(len(unique), len(payloads))
         for key in payloads:
-            self.progress.job_finished(key, unique[key], 0.0, True)
+            self.progress.job_finished(key, unique[key],
+                                       times.get(key, 0.0), True)
 
         if misses:
             self._execute(misses, payloads, times)

@@ -87,6 +87,18 @@ class Histogram:
                 return self.bounds[index]
         return self.max
 
+    def quantiles(self, fractions=(0.5, 0.95)):
+        """``{"p50": ..., "p95": ...}`` via :meth:`percentile`.
+
+        The serving layer's latency metrics use this; keys are
+        ``p<percent>`` with trailing-zero-free percents (0.999 -> p99.9).
+        """
+        out = {}
+        for fraction in fractions:
+            label = ("%g" % (fraction * 100.0))
+            out["p" + label] = self.percentile(fraction)
+        return out
+
     def to_dict(self):
         return {
             "bounds": list(self.bounds),

@@ -1,0 +1,151 @@
+"""HTTP API: routes binding the job service to the asyncio server.
+
+Endpoints (all JSON unless noted)::
+
+    GET    /                  the HTML dashboard
+    GET    /healthz           liveness probe
+    POST   /jobs              submit a job spec     -> 202 + job document
+    GET    /jobs              list jobs (newest first)
+    GET    /jobs/<id>         one job, with per-unit detail
+    DELETE /jobs/<id>         request cancellation
+    GET    /jobs/<id>/events  SSE progress stream (ends when the job does)
+    GET    /events            global SSE stream (dashboard feed)
+    GET    /results/<key>     cached payload for a content key
+    GET    /traces/<key>      Perfetto trace of a traced sim result
+    GET    /metrics           queue/cache/worker/latency metrics
+
+Clients self-identify with the ``X-Client`` header (concurrency budgets
+are per client); anything unidentified shares the ``anonymous`` budget.
+"""
+
+from .dashboard import DASHBOARD_HTML
+from .events import stream_topic
+from .http import (
+    HTTPError,
+    HTTPServer,
+    Router,
+    SSEResponse,
+    html_response,
+    json_response,
+)
+from .jobspec import SpecError
+
+TERMINAL_STATES = ("done", "failed", "cancelled")
+
+
+def build_router(service):
+    router = Router()
+
+    def counted(handler):
+        def wrapped(request, **params):
+            service.metrics.requests += 1
+            return handler(request, **params)
+        return wrapped
+
+    def route(method, pattern, handler):
+        router.add(method, pattern, counted(handler))
+
+    def dashboard(request):
+        return html_response(DASHBOARD_HTML)
+
+    def healthz(request):
+        return json_response({"ok": True})
+
+    def post_job(request):
+        doc = request.json()
+        try:
+            job = service.submit(doc, client=request.client)
+        except SpecError as err:
+            raise HTTPError(400, str(err))
+        return json_response(job.to_dict(), status=202)
+
+    def list_jobs(request):
+        return json_response({"jobs": service.list_jobs()})
+
+    def get_job(request, id):
+        job = service.get_job(id)
+        if job is None:
+            raise HTTPError(404, "no such job: %s" % id)
+        return json_response(job.to_dict())
+
+    def delete_job(request, id):
+        job = service.cancel_job(id)
+        if job is None:
+            raise HTTPError(404, "no such job: %s" % id)
+        return json_response(job.to_dict(verbose=False))
+
+    def job_events(request, id):
+        job = service.get_job(id)
+        if job is None:
+            raise HTTPError(404, "no such job: %s" % id)
+
+        def finished(event, data):
+            return event == "job" and data.get("state") in TERMINAL_STATES
+
+        if job.state in TERMINAL_STATES:
+            # Already settled: replay the terminal state and end.
+            async def replay():
+                yield "job", dict(job.to_dict(verbose=False),
+                                  job_id=job.id, event="job")
+            return SSEResponse(replay())
+        return SSEResponse(stream_topic(service.hub, id, until=finished))
+
+    def global_events(request):
+        return SSEResponse(stream_topic(service.hub, "*"))
+
+    def get_result(request, key):
+        payload = service.result(key)
+        if payload is None:
+            raise HTTPError(404, "no cached result for key %s" % key)
+        return json_response({"key": key, "result": payload})
+
+    def get_trace(request, key):
+        payload = service.result(key)
+        if payload is None:
+            raise HTTPError(404, "no cached result for key %s" % key)
+        trace = payload.get("trace") if isinstance(payload, dict) else None
+        if trace is None:
+            raise HTTPError(404, "result %s has no trace (submit the sim "
+                                 "with \"trace\": true)" % key)
+        return json_response(trace)
+
+    def get_metrics(request):
+        return json_response(service.metrics.snapshot(service))
+
+    route("GET", "/", dashboard)
+    route("GET", "/healthz", healthz)
+    route("POST", "/jobs", post_job)
+    route("GET", "/jobs", list_jobs)
+    route("GET", "/jobs/<id>", get_job)
+    route("DELETE", "/jobs/<id>", delete_job)
+    route("GET", "/jobs/<id>/events", job_events)
+    route("GET", "/events", global_events)
+    route("GET", "/results/<key>", get_result)
+    route("GET", "/traces/<key>", get_trace)
+    route("GET", "/metrics", get_metrics)
+    return router
+
+
+def build_server(service, host=None, port=None):
+    """An :class:`~repro.serve.http.HTTPServer` for the service."""
+    config = service.config
+    return HTTPServer(build_router(service),
+                      host=host if host is not None else config.host,
+                      port=port if port is not None else config.port)
+
+
+async def serve(service, ready=None):
+    """Run the service until cancelled; awaits forever.
+
+    ``ready`` is an optional callback invoked with the bound port once
+    the listener is up (the CLI prints it; tests grab it).
+    """
+    server = build_server(service)
+    port = await server.start()
+    if ready is not None:
+        ready(port)
+    try:
+        await server.serve_forever()
+    finally:
+        await server.close()
+        await service.shutdown()

@@ -1,0 +1,163 @@
+"""A small blocking client for the serve API (tests, smoke scripts).
+
+Stdlib-only (``http.client``); JSON in, JSON out.  SSE streams are
+exposed as plain generators of ``(event, data)`` tuples so a test can
+follow a job to completion without an async runtime::
+
+    client = ServeClient("http://127.0.0.1:8642", client_id="ci")
+    job = client.post_job({"kind": "sim", "app": "em3d", "scale": 0.05})
+    final = client.follow(job["id"])          # consumes SSE until done
+    result = client.result(job["units"][0]["key"])
+"""
+
+import http.client
+import json
+import time
+import urllib.parse
+
+
+class ServeAPIError(RuntimeError):
+    """A non-2xx response from the service."""
+
+    def __init__(self, status, message):
+        self.status = status
+        super().__init__("HTTP %d: %s" % (status, message))
+
+
+class ServeClient:
+    """Blocking helper over one service base URL."""
+
+    def __init__(self, base_url, client_id="default", timeout=60.0):
+        parsed = urllib.parse.urlsplit(base_url)
+        if parsed.scheme not in ("http", ""):
+            raise ValueError("only http:// service URLs are supported")
+        netloc = parsed.netloc or parsed.path
+        self.host, _, port = netloc.partition(":")
+        self.port = int(port or 80)
+        self.client_id = client_id
+        self.timeout = timeout
+
+    # -- plumbing -----------------------------------------------------------
+
+    def _request(self, method, path, body=None):
+        connection = http.client.HTTPConnection(self.host, self.port,
+                                                timeout=self.timeout)
+        try:
+            headers = {"X-Client": self.client_id}
+            encoded = None
+            if body is not None:
+                encoded = json.dumps(body).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            connection.request(method, path, body=encoded, headers=headers)
+            response = connection.getresponse()
+            payload = response.read().decode("utf-8")
+            if response.status >= 400:
+                try:
+                    message = json.loads(payload).get("error", payload)
+                except ValueError:
+                    message = payload
+                raise ServeAPIError(response.status, message)
+            return json.loads(payload) if payload.strip() else None
+        finally:
+            connection.close()
+
+    # -- API ----------------------------------------------------------------
+
+    def healthz(self):
+        return self._request("GET", "/healthz")
+
+    def post_job(self, spec):
+        return self._request("POST", "/jobs", body=spec)
+
+    def list_jobs(self):
+        return self._request("GET", "/jobs")["jobs"]
+
+    def get_job(self, job_id):
+        return self._request("GET", "/jobs/%s" % job_id)
+
+    def delete_job(self, job_id):
+        return self._request("DELETE", "/jobs/%s" % job_id)
+
+    def result(self, key):
+        return self._request("GET", "/results/%s" % key)["result"]
+
+    def trace(self, key):
+        return self._request("GET", "/traces/%s" % key)
+
+    def metrics(self):
+        return self._request("GET", "/metrics")
+
+    def dashboard(self):
+        """The dashboard HTML (sanity-checked by the smoke tests)."""
+        connection = http.client.HTTPConnection(self.host, self.port,
+                                               timeout=self.timeout)
+        try:
+            connection.request("GET", "/", headers={"X-Client":
+                                                    self.client_id})
+            response = connection.getresponse()
+            return response.read().decode("utf-8")
+        finally:
+            connection.close()
+
+    # -- SSE ----------------------------------------------------------------
+
+    def events(self, job_id=None, timeout=None):
+        """Generator of ``(event, data)`` from an SSE stream.
+
+        ``job_id`` follows one job (the server ends the stream when the
+        job settles); None follows the global feed until ``timeout``.
+        """
+        path = "/events" if job_id is None else "/jobs/%s/events" % job_id
+        connection = http.client.HTTPConnection(
+            self.host, self.port,
+            timeout=timeout if timeout is not None else self.timeout)
+        try:
+            connection.request("GET", path,
+                               headers={"X-Client": self.client_id})
+            response = connection.getresponse()
+            if response.status >= 400:
+                raise ServeAPIError(response.status,
+                                    response.read().decode("utf-8"))
+            event, data_lines = None, []
+            for raw in response:
+                line = raw.decode("utf-8").rstrip("\n").rstrip("\r")
+                if line.startswith("event:"):
+                    event = line[len("event:"):].strip()
+                elif line.startswith("data:"):
+                    data_lines.append(line[len("data:"):].strip())
+                elif not line and event is not None:
+                    data = json.loads("\n".join(data_lines)) \
+                        if data_lines else {}
+                    yield event, data
+                    event, data_lines = None, []
+        finally:
+            connection.close()
+
+    def follow(self, job_id, timeout=120.0):
+        """Consume the job's SSE stream until it settles; returns the
+        final job document (also collects every event on the way)."""
+        deadline = time.monotonic() + timeout
+        seen = []
+        for event, data in self.events(job_id, timeout=timeout):
+            seen.append((event, data))
+            if event == "job" and data.get("state") in ("done", "failed",
+                                                        "cancelled"):
+                final = self.get_job(job_id)
+                final["sse_events"] = seen
+                return final
+            if time.monotonic() > deadline:
+                break
+        raise TimeoutError("job %s did not settle within %.1fs over SSE"
+                           % (job_id, timeout))
+
+    def wait(self, job_id, timeout=120.0, poll=0.1):
+        """Poll ``GET /jobs/<id>`` until the job settles."""
+        deadline = time.monotonic() + timeout
+        while True:
+            job = self.get_job(job_id)
+            if job["state"] in ("done", "failed", "cancelled"):
+                return job
+            if time.monotonic() > deadline:
+                raise TimeoutError("job %s did not settle within %.1fs"
+                                   % (job_id, timeout))
+            time.sleep(poll)

@@ -1,0 +1,99 @@
+"""The browsable dashboard: one self-contained HTML page.
+
+Served at ``GET /``.  Plain vanilla JS: it lists jobs from ``/jobs``,
+shows the ``/metrics`` headline numbers (cache hit-rate front and
+centre), subscribes to the global SSE feed at ``/events`` for live
+updates, and links each finished unit to its cached result — plus the
+Perfetto trace viewer for traced sim runs (``/traces/<key>``).
+"""
+
+DASHBOARD_HTML = """<!doctype html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>repro.serve — sweep/fuzz job service</title>
+<style>
+  :root { color-scheme: light dark; }
+  body { font: 14px/1.45 system-ui, sans-serif; margin: 2rem auto;
+         max-width: 72rem; padding: 0 1rem; }
+  h1 { font-size: 1.3rem; } h1 small { font-weight: normal; opacity: .6; }
+  table { border-collapse: collapse; width: 100%; margin: .75rem 0; }
+  th, td { text-align: left; padding: .3rem .6rem;
+           border-bottom: 1px solid rgba(127,127,127,.25); }
+  th { font-weight: 600; opacity: .75; }
+  .tiles { display: flex; gap: .75rem; flex-wrap: wrap; margin: 1rem 0; }
+  .tile { border: 1px solid rgba(127,127,127,.35); border-radius: .5rem;
+          padding: .5rem .9rem; min-width: 8rem; }
+  .tile b { display: block; font-size: 1.25rem; }
+  .tile span { opacity: .65; font-size: .8rem; }
+  .state-done { color: #2a7; } .state-failed { color: #d43; }
+  .state-running { color: #07c; } .state-cancelled { opacity: .6; }
+  code { font-size: .85em; }
+  a { color: inherit; }
+  #log { font: 12px/1.4 ui-monospace, monospace; opacity: .75;
+         max-height: 12rem; overflow-y: auto; white-space: pre-wrap; }
+</style>
+</head>
+<body>
+<h1>repro.serve <small>sweep/fuzz job service</small></h1>
+<div class="tiles" id="tiles"></div>
+<h2 style="font-size:1.05rem">Jobs</h2>
+<table id="jobs"><thead><tr>
+  <th>id</th><th>kind</th><th>client</th><th>state</th>
+  <th>progress</th><th>elapsed</th><th>links</th>
+</tr></thead><tbody></tbody></table>
+<h2 style="font-size:1.05rem">Live events</h2>
+<div id="log"></div>
+<script>
+"use strict";
+const fmt = (n, d=1) => (n == null ? "–" : Number(n).toFixed(d));
+async function refresh() {
+  const [jobs, metrics] = await Promise.all([
+    fetch("/jobs").then(r => r.json()),
+    fetch("/metrics").then(r => r.json())]);
+  const tiles = [
+    ["jobs", metrics.jobs.completed + " done", metrics.jobs.failed + " failed"],
+    ["queue depth", metrics.queue.depth, metrics.queue.running_jobs + " running"],
+    ["cache hit-rate", fmt(100 * (metrics.cache.hit_rate || 0)) + "%",
+     (metrics.cache.evictions || 0) + " evictions"],
+    ["dedupe", metrics.units.shared_inflight + " shared",
+     metrics.units.cached + " cache hits"],
+    ["workers", fmt(100 * metrics.workers.utilization, 0) + "%",
+     metrics.workers.fleet + " fleet / " + metrics.workers.crashes + " crashes"],
+    ["job latency", fmt(metrics.latency_ms.job.p50, 0) + " ms p50",
+     fmt(metrics.latency_ms.job.p95, 0) + " ms p95"],
+  ];
+  document.getElementById("tiles").innerHTML = tiles.map(
+    ([label, big, small]) =>
+      `<div class="tile"><b>${big}</b>${small}<br><span>${label}</span></div>`
+  ).join("");
+  const body = document.querySelector("#jobs tbody");
+  body.innerHTML = jobs.jobs.map(j => {
+    const links = [`<a href="/jobs/${j.id}">detail</a>`,
+                   `<a href="/jobs/${j.id}/events">sse</a>`];
+    return `<tr><td><code>${j.id}</code></td><td>${j.kind}</td>` +
+      `<td>${j.client}</td><td class="state-${j.state}">${j.state}</td>` +
+      `<td>${j.units_done}/${j.units_total}</td>` +
+      `<td>${fmt(j.elapsed_s)}s</td><td>${links.join(" · ")}</td></tr>`;
+  }).join("") || `<tr><td colspan="7">no jobs yet — POST one to /jobs</td></tr>`;
+}
+function listen() {
+  const source = new EventSource("/events");
+  const log = document.getElementById("log");
+  for (const kind of ["job", "unit", "progress"]) {
+    source.addEventListener(kind, ev => {
+      const data = JSON.parse(ev.data);
+      if (kind !== "progress") {
+        log.textContent = `${new Date().toLocaleTimeString()} ${kind} ` +
+          JSON.stringify(data) + "\\n" + log.textContent.slice(0, 20000);
+      }
+      refresh();
+    });
+  }
+  source.onerror = () => { source.close(); setTimeout(listen, 2000); };
+}
+refresh(); listen(); setInterval(refresh, 5000);
+</script>
+</body>
+</html>
+"""

@@ -1,0 +1,114 @@
+"""Live progress events: an asyncio pub/sub hub + the SweepProgress bridge.
+
+Every state change in the service publishes a JSON-safe event to the
+:class:`EventHub`; SSE handlers subscribe (per-job or globally) and relay
+frames to clients.  :class:`SSEProgress` subclasses the sweep engine's
+console reporter, :class:`~repro.harness.sweep.SweepProgress` — same hook
+surface (``sweep_started`` / ``job_finished`` / ``sweep_finished``), same
+obs-histogram ETA model — but renders each report as a published event
+instead of a terminal line, which is how one progress implementation
+feeds both the CLI and the dashboard.
+"""
+
+import asyncio
+import io
+
+from ..harness.sweep import SweepProgress
+
+#: Per-subscriber buffered events; a slow consumer beyond this loses the
+#: oldest events (progress is a stream of snapshots, later ones win).
+QUEUE_DEPTH = 256
+
+
+class EventHub:
+    """Fan-out of service events to per-job and global subscribers."""
+
+    def __init__(self):
+        self._subscribers = {}      # topic -> set of asyncio.Queue
+        self.published = 0
+
+    def subscribe(self, topic="*"):
+        queue = asyncio.Queue(maxsize=QUEUE_DEPTH)
+        self._subscribers.setdefault(topic, set()).add(queue)
+        return queue
+
+    def unsubscribe(self, topic, queue):
+        queues = self._subscribers.get(topic)
+        if queues is not None:
+            queues.discard(queue)
+            if not queues:
+                del self._subscribers[topic]
+
+    def publish(self, job_id, event, data):
+        """Publish to the job's topic and the global topic."""
+        self.published += 1
+        payload = dict(data)
+        payload["job_id"] = job_id
+        payload["event"] = event
+        for topic in (job_id, "*"):
+            for queue in tuple(self._subscribers.get(topic, ())):
+                if queue.full():
+                    try:
+                        queue.get_nowait()  # drop the oldest snapshot
+                    except asyncio.QueueEmpty:
+                        pass
+                queue.put_nowait((event, payload))
+
+
+class SSEProgress(SweepProgress):
+    """The SweepProgress hook surface, rendered as hub events.
+
+    The inherited bookkeeping (done/cached counts, the obs
+    :class:`~repro.obs.metrics.Histogram` of per-job milliseconds, the
+    running-mean ETA) is reused as-is; only the output surface changes:
+    ``_emit`` publishes a ``progress`` event, ``job_finished`` adds a
+    per-unit ``unit`` event carrying the content key.
+    """
+
+    def __init__(self, hub, job_id):
+        # The parent writes its console line into a throwaway buffer.
+        super().__init__(stream=io.StringIO(), min_interval=0.0)
+        self.hub = hub
+        self.job_id = job_id
+
+    def job_finished(self, key, job, elapsed, cached):
+        self.hub.publish(self.job_id, "unit", {
+            "key": key,
+            "label": job.describe() if job is not None else "",
+            "elapsed_s": elapsed,
+            "cached": cached,
+        })
+        super().job_finished(key, job, elapsed, cached)
+
+    def _emit(self, force=False):
+        self.hub.publish(self.job_id, "progress", {
+            "done": self._done,
+            "total": self._total,
+            "cached": self._cached,
+            "mean_ms": self.job_ms.mean,
+            "eta_s": self._eta_seconds(),
+        })
+
+
+async def stream_topic(hub, topic, until=None, heartbeat=15.0):
+    """Async iterator of ``(event, data)`` for an SSE response.
+
+    Ends when ``until`` (an optional predicate over published events)
+    returns True; otherwise streams until the client disconnects (the
+    server cancels the generator).  Idle gaps longer than ``heartbeat``
+    seconds emit a ``heartbeat`` frame so dead connections surface.
+    """
+    queue = hub.subscribe(topic)
+    try:
+        while True:
+            try:
+                event, data = await asyncio.wait_for(queue.get(),
+                                                     timeout=heartbeat)
+            except asyncio.TimeoutError:
+                yield "heartbeat", {}
+                continue
+            yield event, data
+            if until is not None and until(event, data):
+                return
+    finally:
+        hub.unsubscribe(topic, queue)

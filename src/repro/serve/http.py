@@ -1,0 +1,254 @@
+"""A minimal asyncio HTTP/1.1 server on stdlib streams.
+
+The serving layer needs exactly four response shapes — JSON documents,
+HTML pages, 4xx/5xx errors and Server-Sent Event streams — so this is a
+deliberately small framework: a request parser over
+``asyncio.start_server``, a pattern router (``/jobs/<id>`` style), and
+three response classes.  No external dependencies, no chunked uploads,
+no keep-alive (every response closes the connection; SSE responses stay
+open until the event source ends or the client disconnects).
+"""
+
+import asyncio
+import json
+import urllib.parse
+
+#: Reject request bodies beyond this (a sweep spec is a few KB).
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+#: Reject header sections beyond this.
+MAX_HEADER_BYTES = 64 * 1024
+
+REASONS = {
+    200: "OK", 201: "Created", 202: "Accepted", 204: "No Content",
+    400: "Bad Request", 404: "Not Found", 405: "Method Not Allowed",
+    409: "Conflict", 429: "Too Many Requests",
+    500: "Internal Server Error",
+}
+
+
+class HTTPError(Exception):
+    """Raise inside a handler to produce a structured JSON error."""
+
+    def __init__(self, status, message):
+        self.status = status
+        self.message = message
+        super().__init__("%d: %s" % (status, message))
+
+
+class Request:
+    """One parsed HTTP request."""
+
+    def __init__(self, method, path, query, headers, body):
+        self.method = method
+        self.path = path
+        self.query = query          # dict of first-value query params
+        self.headers = headers      # dict, lower-cased keys
+        self.body = body            # bytes
+
+    def json(self):
+        if not self.body:
+            raise HTTPError(400, "expected a JSON body")
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as err:
+            raise HTTPError(400, "bad JSON body: %s" % err)
+
+    @property
+    def client(self):
+        """Client identity: the X-Client header (default ``anonymous``)."""
+        return self.headers.get("x-client", "anonymous")
+
+
+class Response:
+    """A complete in-memory response."""
+
+    def __init__(self, body=b"", status=200, content_type="text/plain"):
+        if isinstance(body, str):
+            body = body.encode("utf-8")
+        self.body = body
+        self.status = status
+        self.content_type = content_type
+
+
+def json_response(obj, status=200):
+    return Response(json.dumps(obj, indent=2, sort_keys=True) + "\n",
+                    status=status, content_type="application/json")
+
+
+def html_response(text, status=200):
+    return Response(text, status=status,
+                    content_type="text/html; charset=utf-8")
+
+
+class SSEResponse:
+    """A Server-Sent Events stream.
+
+    ``source`` is an async iterator of ``(event, data)`` pairs; ``data``
+    is JSON-encoded per event.  The stream ends when the iterator is
+    exhausted or the client goes away.
+    """
+
+    def __init__(self, source):
+        self.source = source
+
+
+def sse_encode(event, data):
+    """One SSE frame: ``event:``/``data:`` lines plus the blank separator."""
+    payload = json.dumps(data, sort_keys=True)
+    return ("event: %s\ndata: %s\n\n" % (event, payload)).encode("utf-8")
+
+
+class Router:
+    """Method + path-pattern dispatch.
+
+    Patterns are literal segments or ``<name>`` captures:
+    ``/jobs/<id>/events`` matches ``/jobs/42/events`` with
+    ``{"id": "42"}``.
+    """
+
+    def __init__(self):
+        self._routes = []  # (method, [segments], handler)
+
+    def add(self, method, pattern, handler):
+        segments = [s for s in pattern.split("/") if s]
+        self._routes.append((method.upper(), segments, handler))
+
+    def resolve(self, method, path):
+        """(handler, params) for the request, raising 404/405."""
+        segments = [s for s in path.split("/") if s]
+        path_exists = False
+        for route_method, route_segments, handler in self._routes:
+            params = _match(route_segments, segments)
+            if params is None:
+                continue
+            path_exists = True
+            if route_method == method.upper():
+                return handler, params
+        if path_exists:
+            raise HTTPError(405, "method %s not allowed on %s"
+                            % (method, path))
+        raise HTTPError(404, "no such resource: %s" % path)
+
+
+def _match(route_segments, segments):
+    if len(route_segments) != len(segments):
+        return None
+    params = {}
+    for route_segment, segment in zip(route_segments, segments):
+        if route_segment.startswith("<") and route_segment.endswith(">"):
+            params[route_segment[1:-1]] = urllib.parse.unquote(segment)
+        elif route_segment != segment:
+            return None
+    return params
+
+
+async def _read_request(reader):
+    header_blob = await reader.readuntil(b"\r\n\r\n")
+    if len(header_blob) > MAX_HEADER_BYTES:
+        raise HTTPError(400, "header section too large")
+    lines = header_blob.decode("latin-1").split("\r\n")
+    try:
+        method, target, _version = lines[0].split(" ", 2)
+    except ValueError:
+        raise HTTPError(400, "malformed request line %r" % lines[0])
+    headers = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    length = int(headers.get("content-length", "0") or "0")
+    if length > MAX_BODY_BYTES:
+        raise HTTPError(400, "request body too large")
+    body = await reader.readexactly(length) if length else b""
+    parsed = urllib.parse.urlsplit(target)
+    query = {name: values[0] for name, values
+             in urllib.parse.parse_qs(parsed.query).items()}
+    return Request(method, parsed.path, query, headers, body)
+
+
+class HTTPServer:
+    """Serve a :class:`Router` over asyncio streams."""
+
+    def __init__(self, router, host="127.0.0.1", port=0):
+        self.router = router
+        self.host = host
+        self.port = port            # updated to the bound port on start
+        self._server = None
+
+    async def start(self):
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self.port
+
+    async def close(self):
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def serve_forever(self):
+        await self._server.serve_forever()
+
+    # -- connection handling ------------------------------------------------
+
+    async def _handle_connection(self, reader, writer):
+        try:
+            try:
+                request = await _read_request(reader)
+            except (asyncio.IncompleteReadError, asyncio.LimitOverrunError,
+                    ConnectionError):
+                return
+            await self._respond(request, writer)
+        except HTTPError as err:
+            await self._write_response(writer, json_response(
+                {"error": err.message}, status=err.status))
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        except Exception as err:  # a handler bug: report, don't crash serve
+            try:
+                await self._write_response(writer, json_response(
+                    {"error": "internal error: %s" % err}, status=500))
+            except ConnectionError:
+                pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _respond(self, request, writer):
+        handler, params = self.router.resolve(request.method, request.path)
+        result = handler(request, **params)
+        if asyncio.iscoroutine(result):
+            result = await result
+        if isinstance(result, SSEResponse):
+            await self._write_sse(writer, result)
+        else:
+            await self._write_response(writer, result)
+
+    async def _write_response(self, writer, response):
+        reason = REASONS.get(response.status, "Unknown")
+        head = ("HTTP/1.1 %d %s\r\n"
+                "Content-Type: %s\r\n"
+                "Content-Length: %d\r\n"
+                "Connection: close\r\n"
+                "\r\n" % (response.status, reason, response.content_type,
+                          len(response.body)))
+        writer.write(head.encode("latin-1") + response.body)
+        await writer.drain()
+
+    async def _write_sse(self, writer, response):
+        head = ("HTTP/1.1 200 OK\r\n"
+                "Content-Type: text/event-stream\r\n"
+                "Cache-Control: no-cache\r\n"
+                "Connection: close\r\n"
+                "\r\n")
+        writer.write(head.encode("latin-1"))
+        await writer.drain()
+        async for event, data in response.source:
+            writer.write(sse_encode(event, data))
+            await writer.drain()

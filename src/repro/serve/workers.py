@@ -1,0 +1,142 @@
+"""The persistent worker fleet behind the job service.
+
+One spawn-based ``ProcessPoolExecutor`` outlives every job: units are
+submitted as :func:`repro.harness.sweep._execute_job` calls (exactly what
+the sweep engine's pool runs), and the returned payloads are JSON-safe so
+they flow straight into the shared result cache.
+
+Crash handling: a worker that dies hard (segfault, OOM-kill) breaks the
+whole pool — ``BrokenProcessPool`` — so the fleet rebuilds the pool and
+retries the unit with exponential backoff, up to ``max_retries`` times.
+Deterministic failures (the simulation itself raised; ``_execute_job``
+captured the traceback) are *not* retried — rerunning a deterministic
+simulation reproduces the same error — and surface as
+:class:`~repro.harness.sweep.SweepError`, the same capture the sweep
+engine uses.
+
+``workers=0`` selects *inline* mode: units run on the event loop's
+default thread executor instead of child processes.  That keeps
+unit-tests fast (no spawn re-import) and, because simulations are pure
+functions, results are identical.
+"""
+
+import asyncio
+import threading
+
+from ..harness.sweep import SweepError, _execute_job
+
+
+def traced_sim_runner(job):
+    """Worker-side runner for ``trace: true`` sim jobs (module-level so it
+    pickles by reference).  Returns the normal sweep payload plus a
+    ``trace`` field holding the Perfetto/Chrome JSON document, which the
+    service serves at ``/traces/<key>`` and the dashboard links."""
+    from ..harness.runner import run_app
+    from ..harness.sweep import _payload_from_run
+    from ..obs import TraceConfig, Tracer, to_perfetto
+
+    tracer = Tracer(TraceConfig(capture_messages=False))
+    run = run_app(job.app, job.config, num_cpus=job.num_cpus, seed=job.seed,
+                  scale=job.scale, check_coherence=job.check_coherence,
+                  chaos=job.chaos, trace=tracer)
+    payload = dict(_payload_from_run(run))
+    payload["trace"] = to_perfetto(tracer)
+    return payload
+
+
+class WorkerFleet:
+    """A persistent pool executing work units for the service.
+
+    ``workers`` > 0 is the process-fleet width; 0 runs units inline on
+    threads (tests, tiny deployments).  ``execute`` returns the unit's
+    JSON-safe payload or raises :class:`SweepError`.
+    """
+
+    def __init__(self, workers=2, mp_context="spawn", max_retries=2,
+                 retry_base=0.25):
+        self.workers = workers
+        self.mp_context = mp_context
+        self.max_retries = max_retries
+        self.retry_base = retry_base
+        self.running = 0            # units currently executing
+        self.crashes = 0            # BrokenProcessPool events observed
+        self.retries = 0            # retry attempts made after crashes
+        self._pool = None
+        self._generation = 0
+        self._lock = threading.Lock()
+
+    # -- pool lifecycle -----------------------------------------------------
+
+    def _ensure_pool(self):
+        with self._lock:
+            if self._pool is None:
+                import multiprocessing
+                from concurrent import futures
+
+                context = multiprocessing.get_context(self.mp_context)
+                self._pool = futures.ProcessPoolExecutor(
+                    max_workers=self.workers, mp_context=context)
+            return self._pool, self._generation
+
+    def _rebuild_pool(self, failed_generation):
+        """Replace the broken pool (first caller wins; racers no-op)."""
+        with self._lock:
+            if self._generation != failed_generation:
+                return  # a racing unit already rebuilt it
+            pool, self._pool = self._pool, None
+            self._generation += 1
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    def shutdown(self):
+        with self._lock:
+            pool, self._pool = self._pool, None
+            self._generation += 1
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    # -- execution ----------------------------------------------------------
+
+    async def execute(self, unit):
+        """Run one unit to a payload; retries pool crashes with backoff."""
+        from concurrent.futures.process import BrokenProcessPool
+
+        attempt = 0
+        self.running += 1
+        try:
+            while True:
+                generation = None
+                try:
+                    if self.workers == 0:
+                        status, payload = await asyncio.to_thread(
+                            _execute_job, unit.job, unit.runner)
+                    else:
+                        pool, generation = self._ensure_pool()
+                        future = pool.submit(_execute_job, unit.job,
+                                             unit.runner)
+                        status, payload = await asyncio.wrap_future(future)
+                except BrokenProcessPool:
+                    self.crashes += 1
+                    if generation is not None:
+                        self._rebuild_pool(generation)
+                    if attempt >= self.max_retries:
+                        raise SweepError(
+                            unit.key, unit.job,
+                            "worker process died (pool broken); gave up "
+                            "after %d retries" % attempt)
+                    self.retries += 1
+                    await asyncio.sleep(self.retry_base * (2 ** attempt))
+                    attempt += 1
+                    continue
+                if status != "ok":
+                    # Deterministic failure: the traceback is the capture.
+                    raise SweepError(unit.key, unit.job, payload)
+                return payload
+        finally:
+            self.running -= 1
+
+    def utilization(self):
+        """Running units / fleet width (inline mode reports running)."""
+        if self.workers <= 0:
+            return float(self.running)
+        return self.running / float(self.workers)

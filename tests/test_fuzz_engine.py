@@ -308,10 +308,31 @@ class TestSweepIntegration:
                                              seed=7)})
         assert out == {"a": 7}
 
-    def test_custom_runner_refuses_cache(self, tmp_path):
-        with pytest.raises(ValueError):
-            SweepEngine(jobs=1, cache=True, cache_dir=str(tmp_path),
-                        runner=_echo_runner)
+    def test_custom_runner_shares_cache_keyed_by_identity(self, tmp_path):
+        """Runner identity is part of job_key: cached custom-runner
+        payloads replay, and never alias the default runner's entries."""
+        the_job = SweepJob(app="x", config=baseline(), seed=7)
+        engine = SweepEngine(jobs=1, cache=True, cache_dir=str(tmp_path),
+                             runner=_echo_runner)
+        first = engine.run_many({"a": the_job})
+        assert engine.last_report.executed == 1
+        second = engine.run_many({"a": the_job})
+        assert engine.last_report.executed == 0
+        assert engine.last_report.cached == 1
+        assert second == first
+        assert job_key(the_job, _echo_runner) != job_key(the_job)
+
+    def test_cached_fuzz_corpus_replays(self, tmp_path):
+        seeds = [0, 1]
+        cold = FuzzEngine(jobs=1, out_dir=str(tmp_path), cache=True,
+                          cache_dir=str(tmp_path / "cache"))
+        first = cold.run_corpus(seeds)
+        warm = FuzzEngine(jobs=1, out_dir=str(tmp_path), cache=True,
+                          cache_dir=str(tmp_path / "cache"))
+        second = warm.run_corpus(seeds)
+        assert first.passed == second.passed
+        assert [f.seed for f in first.failures] == \
+               [f.seed for f in second.failures]
 
     def test_chaos_is_part_of_job_identity(self):
         base = SweepJob(app="x", config=baseline(), seed=1)

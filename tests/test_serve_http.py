@@ -1,0 +1,150 @@
+"""The serve HTTP layer: router, request parsing, SSE framing."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.serve.http import (
+    HTTPError,
+    HTTPServer,
+    Request,
+    Router,
+    SSEResponse,
+    json_response,
+    sse_encode,
+)
+
+
+class TestRouter:
+    def router(self):
+        router = Router()
+        router.add("GET", "/jobs", lambda request: "list")
+        router.add("POST", "/jobs", lambda request: "create")
+        router.add("GET", "/jobs/<id>", lambda request, id: "job:" + id)
+        router.add("GET", "/jobs/<id>/events",
+                   lambda request, id: "events:" + id)
+        return router
+
+    def test_literal_match(self):
+        handler, params = self.router().resolve("GET", "/jobs")
+        assert handler(None) == "list"
+        assert params == {}
+
+    def test_method_dispatch_on_same_path(self):
+        handler, _ = self.router().resolve("POST", "/jobs")
+        assert handler(None) == "create"
+
+    def test_capture_segments(self):
+        handler, params = self.router().resolve("GET", "/jobs/j42/events")
+        assert params == {"id": "j42"}
+        assert handler(None, **params) == "events:j42"
+
+    def test_unknown_path_is_404(self):
+        with pytest.raises(HTTPError) as err:
+            self.router().resolve("GET", "/nope")
+        assert err.value.status == 404
+
+    def test_wrong_method_is_405(self):
+        with pytest.raises(HTTPError) as err:
+            self.router().resolve("DELETE", "/jobs")
+        assert err.value.status == 405
+
+    def test_url_decoding_in_captures(self):
+        _, params = self.router().resolve("GET", "/jobs/a%20b")
+        assert params == {"id": "a b"}
+
+
+class TestRequest:
+    def test_json_round_trip(self):
+        request = Request("POST", "/jobs", {}, {},
+                          json.dumps({"a": 1}).encode())
+        assert request.json() == {"a": 1}
+
+    def test_bad_json_is_400(self):
+        request = Request("POST", "/jobs", {}, {}, b"{nope")
+        with pytest.raises(HTTPError) as err:
+            request.json()
+        assert err.value.status == 400
+
+    def test_empty_body_is_400(self):
+        with pytest.raises(HTTPError):
+            Request("POST", "/jobs", {}, {}, b"").json()
+
+    def test_client_header_defaults_to_anonymous(self):
+        assert Request("GET", "/", {}, {}, b"").client == "anonymous"
+        assert Request("GET", "/", {}, {"x-client": "ci"}, b"").client \
+            == "ci"
+
+
+class TestSSEEncoding:
+    def test_frame_layout(self):
+        frame = sse_encode("unit", {"key": "abc"}).decode()
+        assert frame == 'event: unit\ndata: {"key": "abc"}\n\n'
+
+
+def _roundtrip(payload, path="/echo", method="POST"):
+    """Boot a real server, run one raw-socket request, return the text."""
+
+    async def scenario():
+        router = Router()
+
+        def echo(request):
+            return json_response({
+                "method": request.method,
+                "path": request.path,
+                "query": request.query,
+                "client": request.client,
+                "body": request.body.decode("utf-8"),
+            })
+
+        async def stream(request):
+            async def source():
+                for index in range(3):
+                    yield "tick", {"n": index}
+            return SSEResponse(source())
+
+        router.add("POST", "/echo", echo)
+        router.add("GET", "/stream", stream)
+        server = HTTPServer(router, port=0)
+        port = await server.start()
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+        writer.write(
+            ("%s %s HTTP/1.1\r\nHost: x\r\nX-Client: t\r\n"
+             "Content-Length: %d\r\n\r\n" % (method, path, len(payload))
+             ).encode() + payload)
+        await writer.drain()
+        raw = await reader.read()
+        writer.close()
+        await server.close()
+        return raw.decode("utf-8")
+
+    return asyncio.run(scenario())
+
+
+class TestLiveServer:
+    def test_json_request_response(self):
+        text = _roundtrip(b'{"x": 1}', path="/echo?a=1&b=2")
+        head, _, body = text.partition("\r\n\r\n")
+        assert head.startswith("HTTP/1.1 200 OK")
+        assert "application/json" in head
+        doc = json.loads(body)
+        assert doc["method"] == "POST"
+        assert doc["path"] == "/echo"
+        assert doc["query"] == {"a": "1", "b": "2"}
+        assert doc["client"] == "t"
+        assert json.loads(doc["body"]) == {"x": 1}
+
+    def test_404_is_json_error(self):
+        text = _roundtrip(b"", path="/missing")
+        head, _, body = text.partition("\r\n\r\n")
+        assert "404" in head.split("\r\n")[0]
+        assert "error" in json.loads(body)
+
+    def test_sse_stream_end_to_end(self):
+        text = _roundtrip(b"", path="/stream", method="GET")
+        head, _, body = text.partition("\r\n\r\n")
+        assert "text/event-stream" in head
+        frames = [f for f in body.split("\n\n") if f]
+        assert len(frames) == 3
+        assert frames[0] == 'event: tick\ndata: {"n": 0}'

@@ -1,0 +1,298 @@
+"""JobService semantics: dedupe, budgets, retries, cancellation, events.
+
+Everything here runs with ``workers=0`` (inline thread execution) so the
+tier-1 lane stays fast; the process fleet itself is covered by the e2e
+and smoke layers.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.harness.sweep import SweepError
+from repro.serve import workers as workers_mod
+from repro.serve.metrics import ServiceMetrics
+from repro.serve.service import JobService, ServiceConfig
+from repro.serve.workers import WorkerFleet
+
+SIM = {"kind": "sim", "app": "ocean", "system": "base", "nodes": 4,
+       "scale": 0.05}
+SWEEP = {"kind": "sweep", "apps": ["ocean"],
+         "systems": ["base", "rac32k", "dele32_rac32k", "dele1k_rac32k"],
+         "nodes": 4, "scale": 0.05}
+
+
+def make_service(tmp_path, **overrides):
+    options = dict(workers=0, cache_dir=str(tmp_path / "cache"),
+                   cache_budget=None)
+    options.update(overrides)
+    return JobService(ServiceConfig(**options))
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def finish(service, *jobs):
+    await asyncio.gather(*[job.task for job in jobs])
+
+
+class TestDedupe:
+    def test_concurrent_identical_jobs_execute_once(self, tmp_path):
+        async def scenario():
+            service = make_service(tmp_path)
+            first = service.submit(SIM, client="alice")
+            second = service.submit(SIM, client="bob")
+            await finish(service, first, second)
+            return service, first, second
+
+        service, first, second = run(scenario())
+        assert first.state == "done" and second.state == "done"
+        assert service.metrics.units_executed == 1
+        assert service.metrics.units_shared == 1
+        shared = [u for job in (first, second) for u in job.units
+                  if u.shared]
+        assert len(shared) == 1
+        key = first.units[0].key
+        assert second.units[0].key == key
+        assert service.result(key) is not None
+
+    def test_sequential_repeat_hits_cache(self, tmp_path):
+        async def scenario():
+            service = make_service(tmp_path)
+            first = service.submit(SIM)
+            await finish(service, first)
+            second = service.submit(SIM)
+            await finish(service, second)
+            return service, second
+
+        service, second = run(scenario())
+        assert service.metrics.units_executed == 1
+        assert service.metrics.units_cached == 1
+        assert second.units[0].cached
+        assert service.cache.stats()["hit_rate"] > 0
+
+
+class FakeFleet(WorkerFleet):
+    """Inline fleet with an observable, scriptable execute."""
+
+    def __init__(self, delay=0.02, fail_units=(), crash_first=0):
+        super().__init__(workers=0, max_retries=2, retry_base=0.0)
+        self.delay = delay
+        self.fail_units = set(fail_units)
+        self.crash_first = crash_first      # BrokenProcessPool-style crashes
+        self.started = []
+        self.concurrent = 0
+        self.max_concurrent = 0
+
+    async def execute(self, unit):
+        from concurrent.futures.process import BrokenProcessPool
+
+        self.started.append(unit.label)
+        self.concurrent += 1
+        self.max_concurrent = max(self.max_concurrent, self.concurrent)
+        try:
+            await asyncio.sleep(self.delay)
+            if self.crash_first > 0:
+                self.crash_first -= 1
+                self.crashes += 1
+                if self.crash_first == 0:   # crashes then recovers
+                    self.retries += 1
+                    return {"cycles": 1, "recovered": True}
+                raise SweepError(unit.key, unit.job, "pool broken")
+            if unit.label in self.fail_units:
+                raise SweepError(unit.key, unit.job,
+                                 "Traceback: boom in %s" % unit.label)
+            return {"cycles": 1, "label": unit.label}
+        finally:
+            self.concurrent -= 1
+
+
+class TestBudgetsAndFailures:
+    def test_client_budget_caps_concurrency(self, tmp_path):
+        async def scenario():
+            service = make_service(tmp_path, client_budget=2)
+            service.fleet = FakeFleet()
+            job = service.submit(SWEEP, client="alice")
+            await finish(service, job)
+            return service, job
+
+        service, job = run(scenario())
+        assert job.state == "done"
+        assert len(service.fleet.started) == 4
+        assert service.fleet.max_concurrent <= 2
+
+    def test_budgets_are_per_client(self, tmp_path):
+        async def scenario():
+            service = make_service(tmp_path, client_budget=1)
+            service.fleet = FakeFleet()
+            alice = service.submit(SIM, client="alice")
+            bob = service.submit({**SIM, "seed": 99}, client="bob")
+            await finish(service, alice, bob)
+            return service
+
+        service = run(scenario())
+        # Distinct keys, distinct clients: both could run at once.
+        assert service.fleet.max_concurrent == 2
+
+    def test_failed_unit_fails_job_with_capture(self, tmp_path):
+        async def scenario():
+            service = make_service(tmp_path)
+            service.fleet = FakeFleet(fail_units={"ocean/rac32k"})
+            job = service.submit(SWEEP)
+            await finish(service, job)
+            return service, job
+
+        service, job = run(scenario())
+        assert job.state == "failed"
+        assert "boom" in job.error
+        states = sorted(u.state for u in job.units)
+        assert states == ["done", "done", "done", "failed"]
+        assert service.metrics.units_failed == 1
+        # The siblings still completed and are cached.
+        done = [u for u in job.units if u.state == "done"]
+        assert all(service.result(u.key) is not None for u in done)
+
+
+class TestRetries:
+    def test_pool_crash_is_retried_with_rebuild(self, monkeypatch):
+        from concurrent.futures.process import BrokenProcessPool
+
+        calls = {"n": 0}
+
+        def flaky(job, runner):
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise BrokenProcessPool("worker died")
+            return "ok", {"cycles": 5}
+
+        monkeypatch.setattr(workers_mod, "_execute_job", flaky)
+        fleet = WorkerFleet(workers=0, max_retries=2, retry_base=0.0)
+        unit = FakeUnit()
+        payload = run(fleet.execute(unit))
+        assert payload == {"cycles": 5}
+        assert fleet.crashes == 2
+        assert fleet.retries == 2
+
+    def test_crashes_beyond_retry_budget_surface(self, monkeypatch):
+        from concurrent.futures.process import BrokenProcessPool
+
+        def always_broken(job, runner):
+            raise BrokenProcessPool("worker died")
+
+        monkeypatch.setattr(workers_mod, "_execute_job", always_broken)
+        fleet = WorkerFleet(workers=0, max_retries=1, retry_base=0.0)
+        with pytest.raises(SweepError) as err:
+            run(fleet.execute(FakeUnit()))
+        assert "gave up" in str(err.value)
+        assert fleet.crashes == 2
+
+    def test_deterministic_failure_is_not_retried(self, monkeypatch):
+        calls = {"n": 0}
+
+        def failing(job, runner):
+            calls["n"] += 1
+            return "error", "Traceback: deterministic boom"
+
+        monkeypatch.setattr(workers_mod, "_execute_job", failing)
+        fleet = WorkerFleet(workers=0, max_retries=2, retry_base=0.0)
+        with pytest.raises(SweepError):
+            run(fleet.execute(FakeUnit()))
+        assert calls["n"] == 1
+        assert fleet.retries == 0
+
+
+class FakeUnit:
+    key = "k"
+    label = "fake"
+    job = None
+    runner = None
+
+
+class TestCancellation:
+    def test_cancel_skips_queued_units(self, tmp_path):
+        async def scenario():
+            service = make_service(tmp_path, client_budget=1)
+            service.fleet = FakeFleet(delay=0.05)
+            job = service.submit(SWEEP)
+            await asyncio.sleep(0.01)       # first unit starts
+            service.cancel_job(job.id)
+            await finish(service, job)
+            return service, job
+
+        service, job = run(scenario())
+        assert job.state == "cancelled"
+        states = {u.state for u in job.units}
+        assert "cancelled" in states
+        # Not every unit ran: the budget serialized them and the cancel
+        # landed before the queue drained.
+        assert len(service.fleet.started) < len(job.units)
+
+    def test_cancel_unknown_job_is_none(self, tmp_path):
+        async def scenario():
+            service = make_service(tmp_path)
+            return service.cancel_job("j999")
+
+        assert run(scenario()) is None
+
+    def test_shared_waiter_survives_owner_cancellation(self, tmp_path):
+        async def scenario():
+            service = make_service(tmp_path, client_budget=1)
+            service.fleet = FakeFleet(delay=0.05)
+            owner = service.submit(SIM, client="alice")
+            await asyncio.sleep(0.01)
+            waiter = service.submit(SIM, client="bob")
+            await asyncio.sleep(0.01)
+            service.cancel_job(owner.id)
+            await finish(service, owner, waiter)
+            return waiter
+
+        waiter = run(scenario())
+        # The owner's execution completed (running units finish) or the
+        # waiter retried and executed itself; either way bob gets a result.
+        assert waiter.state == "done"
+        assert waiter.units[0].state == "done"
+
+
+class TestEventsAndMetrics:
+    def test_job_lifecycle_publishes_events(self, tmp_path):
+        async def scenario():
+            service = make_service(tmp_path)
+            queue = service.hub.subscribe("*")
+            job = service.submit(SIM)
+            await finish(service, job)
+            events = []
+            while not queue.empty():
+                events.append(queue.get_nowait())
+            service.hub.unsubscribe("*", queue)
+            return job, events
+
+        job, events = run(scenario())
+        kinds = [event for event, _ in events]
+        assert "job" in kinds and "unit" in kinds and "progress" in kinds
+        final = [data for event, data in events if event == "job"][-1]
+        assert final["state"] == "done"
+        assert final["id"] == job.id
+        assert final["job_id"] == job.id    # hub stamps the topic
+
+    def test_metrics_snapshot_shape(self, tmp_path):
+        async def scenario():
+            service = make_service(tmp_path)
+            job = service.submit(SIM)
+            await finish(service, job)
+            return service.metrics.snapshot(service)
+
+        snap = run(scenario())
+        assert snap["jobs"]["accepted"] == 1
+        assert snap["jobs"]["completed"] == 1
+        assert snap["units"]["executed"] == 1
+        assert snap["latency_ms"]["job"]["count"] == 1
+        assert snap["latency_ms"]["job"]["p50"] >= 0
+        assert 0.0 <= snap["cache"]["hit_rate"] <= 1.0
+
+    def test_quantiles_helper(self):
+        metrics = ServiceMetrics()
+        for value in range(1, 101):
+            metrics.job_latency_ms.record(value)
+        quantiles = metrics.job_latency_ms.quantiles((0.5, 0.95))
+        assert quantiles["p50"] <= quantiles["p95"]

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Regression gate for the committed headline benchmark record.
+
+Re-runs the same headline sweep that produced the committed
+``BENCH_0006.json`` (cold cache, same scale and worker count) and fails
+if the fresh wall-clock mean regresses more than ``--tolerance`` (default
+25%, overridable via the ``BENCH_GATE_TOLERANCE`` environment variable —
+CI runners are noisy, so the gate is deliberately loose; it exists to
+catch order-of-magnitude cliffs, not 5% drift).
+
+Usage::
+
+    python tools/bench_gate.py                  # gate against BENCH_0006.json
+    python tools/bench_gate.py --record other.json --tolerance 0.5
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+DEFAULT_RECORD = "BENCH_0006.json"
+DEFAULT_TOLERANCE = 0.25
+
+
+def load_mean(path):
+    with open(path) as fileobj:
+        doc = json.load(fileobj)
+    bench = doc["benchmarks"][0]
+    return bench["stats"]["mean"], bench["params"], doc["sweep"]
+
+
+def rerun(params, out_path):
+    command = [
+        sys.executable, "-m", "repro", "sweep", "headline",
+        "--scale", str(params["scale"]),
+        "--jobs", str(params["jobs"]),
+        "--seed", str(params["seed"]),
+        "--no-cache",
+        "--json", out_path,
+    ]
+    print("+ " + " ".join(command), flush=True)
+    subprocess.run(command, check=True)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--record", default=DEFAULT_RECORD,
+                        help="committed benchmark record to gate against")
+    parser.add_argument("--tolerance", type=float,
+                        default=float(os.environ.get(
+                            "BENCH_GATE_TOLERANCE", DEFAULT_TOLERANCE)),
+                        help="allowed fractional regression (default 0.25)")
+    args = parser.parse_args(argv)
+
+    committed_mean, params, committed_sweep = load_mean(args.record)
+    with tempfile.TemporaryDirectory() as tmp:
+        fresh_path = os.path.join(tmp, "fresh.json")
+        rerun(params, fresh_path)
+        fresh_mean, _, fresh_sweep = load_mean(fresh_path)
+
+    if fresh_sweep["total"] != committed_sweep["total"]:
+        print("bench gate: job count changed (%d -> %d); re-record %s"
+              % (committed_sweep["total"], fresh_sweep["total"],
+                 args.record))
+        return 1
+
+    ratio = fresh_mean / committed_mean if committed_mean else float("inf")
+    budget = 1.0 + args.tolerance
+    verdict = "ok" if ratio <= budget else "REGRESSION"
+    print("bench gate: committed %.2fs, fresh %.2fs (%.2fx, budget %.2fx) "
+          "-> %s" % (committed_mean, fresh_mean, ratio, budget, verdict))
+    return 0 if ratio <= budget else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
