@@ -67,6 +67,42 @@ def test_event_queue_throughput(benchmark):
     benchmark(burst)
 
 
+def test_event_queue_batched_schedule(benchmark):
+    """schedule_many + run: the batched push/pop path of the rewrite."""
+    nop = lambda: None
+    batch = [(i % 97, nop, ()) for i in range(1000)]
+
+    def burst():
+        events = EventQueue()
+        events.schedule_many(batch)
+        events.run()
+
+    benchmark(burst)
+
+
+def test_message_pool_acquire_release(benchmark):
+    """Message construction through the free-list pool (steady state:
+    every release feeds the next acquire, so no allocation occurs)."""
+    Message.clear_pool()
+    Message(MsgType.GETS, 0, 1, 0).release()  # prime the pool
+
+    def cycle():
+        Message(MsgType.GETS, 0, 1, 0x80).release()
+
+    benchmark(cycle)
+
+
+def test_dispatch_table_hit(benchmark):
+    """Hub handler dispatch through the pre-bound per-MsgType array."""
+    from repro.sim.system import System as _System
+
+    system = _System(baseline(num_nodes=4), check_coherence=False)
+    hub = system.hubs[0]
+    msg = Message(MsgType.WB_ACK, src=1, dst=0, addr=0)
+
+    benchmark(hub.dispatch, msg)
+
+
 def test_simulator_ops_per_second(benchmark):
     """End-to-end simulation throughput on a compute-only trace."""
     def run():

@@ -11,30 +11,47 @@ fills, downgrades and invalidations, but never initiates protocol actions.
 That is the hub controller's job (:mod:`repro.protocol.hub`).
 """
 
-from dataclasses import dataclass
-
 from ..common.errors import ProtocolError
 from .line import LineState
 from .sa_cache import SetAssociativeCache
 
 
-@dataclass(frozen=True)
 class AccessResult:
-    """Outcome of a processor load/store probe."""
+    """Outcome of a processor load/store probe.
 
-    hit: bool
-    latency: int
-    state: LineState
-    value: int = 0
+    Slotted, not a frozen dataclass: one is built per processor memory op,
+    and ``object.__setattr__``-based frozen init showed up in profiles.
+    :meth:`PrivateCacheHierarchy.read` / :meth:`~PrivateCacheHierarchy.write`
+    return a per-hierarchy instance that is overwritten by the next probe —
+    consume it before probing again (every caller does; none retain it).
+    """
+
+    __slots__ = ("hit", "latency", "state", "value")
+
+    def __init__(self, hit, latency, state, value=0):
+        self.hit = hit
+        self.latency = latency
+        self.state = state
+        self.value = value
+
+    def __repr__(self):
+        return ("AccessResult(hit=%r, latency=%r, state=%r, value=%r)"
+                % (self.hit, self.latency, self.state, self.value))
 
 
-@dataclass(frozen=True)
 class EvictionNotice:
     """An L2 line that fell out of the hierarchy and needs hub handling."""
 
-    addr: int
-    state: LineState
-    value: int
+    __slots__ = ("addr", "state", "value")
+
+    def __init__(self, addr, state, value):
+        self.addr = addr
+        self.state = state
+        self.value = value
+
+    def __repr__(self):
+        return ("EvictionNotice(addr=0x%x, state=%r, value=%r)"
+                % (self.addr, self.state, self.value))
 
 
 class PrivateCacheHierarchy:
@@ -44,6 +61,10 @@ class PrivateCacheHierarchy:
         self.config = config
         self.l1 = SetAssociativeCache(config.l1, name="L1")
         self.l2 = SetAssociativeCache(config.l2, name="L2")
+        self._l1_latency = config.l1.latency
+        self._l2_latency = config.l2.latency
+        # Reused probe result (see AccessResult docstring).
+        self._result = AccessResult(False, 0, LineState.INVALID)
 
     # -- probes -----------------------------------------------------------
 
@@ -61,15 +82,24 @@ class PrivateCacheHierarchy:
 
     def read(self, addr):
         """Processor load probe: hit if the line is readable (S/E/M)."""
+        result = self._result
         l2_line = self.l2.access(addr)
         if l2_line is None or not l2_line.state.readable:
-            return AccessResult(False, 0, LineState.INVALID)
-        if self.l1.access(addr) is not None:
-            return AccessResult(True, self.config.l1.latency,
-                                l2_line.state, l2_line.value)
-        self.l1.insert(addr, state=l2_line.state)  # refill L1 from L2
-        return AccessResult(True, self.config.l2.latency,
-                            l2_line.state, l2_line.value)
+            result.hit = False
+            result.latency = 0
+            result.state = LineState.INVALID
+            result.value = 0
+            return result
+        l1_line = self.l1.access(addr)
+        if l1_line is not None:
+            result.latency = self._l1_latency
+        else:
+            self.l1.insert(addr, state=l2_line.state)  # refill L1 from L2
+            result.latency = self._l2_latency
+        result.hit = True
+        result.state = l2_line.state
+        result.value = l2_line.value
+        return result
 
     def write(self, addr, value):
         """Processor store probe: hit only with write permission (E/M).
@@ -79,17 +109,31 @@ class PrivateCacheHierarchy:
         must obtain exclusive ownership and call :meth:`fill` / mark the
         line, after which the processor retries the store.
         """
+        result = self._result
         l2_line = self.l2.access(addr)
         if l2_line is None or not l2_line.state.writable:
-            state = l2_line.state if l2_line is not None else LineState.INVALID
-            return AccessResult(False, 0, state)
+            result.hit = False
+            result.latency = 0
+            result.state = (l2_line.state if l2_line is not None
+                            else LineState.INVALID)
+            result.value = 0
+            return result
         l2_line.state = LineState.MODIFIED
         l2_line.value = value
         l2_line.dirty = True
-        latency = (self.config.l1.latency if self.l1.access(addr) is not None
-                   else self.config.l2.latency)
-        self.l1.insert(addr, state=LineState.MODIFIED)
-        return AccessResult(True, latency, LineState.MODIFIED, value)
+        l1_line = self.l1.access(addr)
+        if l1_line is not None:
+            # L1 only tracks presence + state; refresh state in place
+            # rather than paying a full insert per write hit.
+            l1_line.state = LineState.MODIFIED
+            result.latency = self._l1_latency
+        else:
+            self.l1.insert(addr, state=LineState.MODIFIED)
+            result.latency = self._l2_latency
+        result.hit = True
+        result.state = LineState.MODIFIED
+        result.value = value
+        return result
 
     # -- fills and external actions ----------------------------------------
 

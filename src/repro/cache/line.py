@@ -8,7 +8,6 @@ evaluation report useful vs. wasted speculative updates.
 """
 
 import enum
-from dataclasses import dataclass, field
 
 
 class LineState(enum.Enum):
@@ -19,17 +18,15 @@ class LineState(enum.Enum):
     EXCLUSIVE = "E"
     MODIFIED = "M"
 
-    @property
-    def readable(self):
-        return self is not LineState.INVALID
 
-    @property
-    def writable(self):
-        return self in (LineState.EXCLUSIVE, LineState.MODIFIED)
-
-    @property
-    def dirty(self):
-        return self is LineState.MODIFIED
+# readable/writable/dirty are plain per-member attributes rather than
+# @property: they are checked on every processor access (hundreds of
+# thousands of times per run) and a descriptor call showed up in profiles.
+for _state in LineState:
+    _state.readable = _state is not LineState.INVALID
+    _state.writable = _state in (LineState.EXCLUSIVE, LineState.MODIFIED)
+    _state.dirty = _state is LineState.MODIFIED
+del _state
 
 
 class RacKind(enum.Enum):
@@ -40,7 +37,6 @@ class RacKind(enum.Enum):
     DELEGATED = "delegated"  # pinned surrogate main memory for a delegated line
 
 
-@dataclass
 class CacheLine:
     """One line's worth of cache bookkeeping.
 
@@ -48,17 +44,25 @@ class CacheLine:
     online coherence checker can verify that every read returns the value of
     the most recent write.  ``pinned`` lines are never chosen as eviction
     victims (used by the RAC for delegated surrogate-memory entries).
+
+    Slotted: caches allocate one per resident line and touch ``state`` /
+    ``value`` / ``last_use`` on every access.
     """
 
-    addr: int
-    state: LineState = LineState.INVALID
-    value: int = 0
-    pinned: bool = False
-    kind: RacKind = RacKind.VICTIM
-    consumed: bool = False
-    dirty: bool = False
-    last_use: int = 0
-    meta: dict = field(default_factory=dict)
+    __slots__ = ("addr", "state", "value", "pinned", "kind", "consumed",
+                 "dirty", "last_use")
+
+    def __init__(self, addr, state=LineState.INVALID, value=0, pinned=False,
+                 kind=RacKind.VICTIM, consumed=False, dirty=False,
+                 last_use=0):
+        self.addr = addr
+        self.state = state
+        self.value = value
+        self.pinned = pinned
+        self.kind = kind
+        self.consumed = consumed
+        self.dirty = dirty
+        self.last_use = last_use
 
     def __repr__(self):
         flags = "".join(

@@ -169,8 +169,31 @@ def build_parser():
     sweep_p.add_argument("--json", dest="json_out", metavar="OUT.json",
                          help="write a pytest-benchmark-compatible timing "
                               "record (BENCH_*.json style)")
+    sweep_p.add_argument("--rounds", type=int, default=1, metavar="N",
+                         help="repeat the sweep N times and record real "
+                              "min/mean/median/stddev over the rounds "
+                              "(combine with --no-cache so later rounds "
+                              "re-execute; default: 1)")
+    sweep_p.add_argument("--warmup", action="store_true",
+                         help="run one untimed sweep first (excluded from "
+                              "the recorded stats, pytest-benchmark style)")
     sweep_p.add_argument("--quiet", action="store_true",
                          help="suppress the progress/ETA line")
+
+    profile_p = sub.add_parser(
+        "profile",
+        help="cProfile one artefact sweep and print the top-N cost table")
+    profile_p.add_argument("name", nargs="?", default="headline",
+                           choices=sorted(EXPERIMENTS))
+    profile_p.add_argument("--scale", type=float, default=0.1)
+    profile_p.add_argument("--seed", type=int, default=12345)
+    profile_p.add_argument("--top", type=int, default=20, metavar="N",
+                           help="rows in the cost table (default: 20)")
+    profile_p.add_argument("--sort", default="tottime",
+                           choices=["tottime", "cumtime", "calls"])
+    profile_p.add_argument("--out", metavar="FILE.pstats",
+                           help="also dump the raw profile for pstats/"
+                                "snakeviz-style tooling")
 
     lint_p = sub.add_parser(
         "lint", help="statically analyze the protocol sources")
@@ -406,27 +429,40 @@ def cmd_report(args):
 
 def cmd_sweep(args):
     engine = _build_engine(args, quiet=args.quiet)
-    started = time.time()
-    out = EXPERIMENTS[args.name](scale=args.scale, seed=args.seed,
-                                 engine=engine)
-    elapsed = time.time() - started
+    rounds = max(1, getattr(args, "rounds", 1))
+    round_times = []
+    out = None
+    if getattr(args, "warmup", False):
+        EXPERIMENTS[args.name](scale=args.scale, seed=args.seed,
+                               engine=engine)
+    for _ in range(rounds):
+        started = time.time()
+        out = EXPERIMENTS[args.name](scale=args.scale, seed=args.seed,
+                                     engine=engine)
+        round_times.append(time.time() - started)
+    elapsed = sum(round_times)
     report = engine.last_report
     print(out["text"])
     print("\nsweep %s: %d jobs (%d unique), %d executed, %d cached, "
           "%d workers, %.2fs"
           % (args.name, report.total, report.unique, report.executed,
-             report.cached, engine.jobs, elapsed))
+             report.cached, engine.effective_jobs, elapsed))
     if args.json_out:
-        _write_sweep_json(args, report, elapsed)
+        _write_sweep_json(args, report, round_times)
         print("wrote %s" % args.json_out)
     return 0
 
 
-def _write_sweep_json(args, report, elapsed):
+def _write_sweep_json(args, report, round_times):
     """A BENCH_*.json-style record: the subset of the pytest-benchmark
-    schema our tooling reads (one benchmark entry, single round), plus a
-    ``sweep`` block with the cache/executed accounting."""
+    schema our tooling reads (one benchmark entry, real per-round stats
+    when ``--rounds`` > 1), plus a ``sweep`` block with the
+    cache/executed accounting."""
+    import statistics
+
     name = "sweep[%s]" % args.name
+    elapsed = sum(round_times)
+    mean = statistics.mean(round_times)
     record = {
         "machine_info": {
             "python_version": platform.python_version(),
@@ -440,10 +476,13 @@ def _write_sweep_json(args, report, elapsed):
             "params": {"scale": args.scale, "seed": args.seed,
                        "jobs": args.jobs},
             "stats": {
-                "min": elapsed, "max": elapsed, "mean": elapsed,
-                "median": elapsed, "stddev": 0.0, "rounds": 1,
+                "min": min(round_times), "max": max(round_times),
+                "mean": mean, "median": statistics.median(round_times),
+                "stddev": (statistics.stdev(round_times)
+                           if len(round_times) > 1 else 0.0),
+                "rounds": len(round_times),
                 "iterations": 1, "total": elapsed,
-                "ops": (1.0 / elapsed) if elapsed else 0.0,
+                "ops": (1.0 / mean) if mean else 0.0,
             },
             "extra_info": {
                 "total_jobs": report.total,
@@ -464,6 +503,67 @@ def _write_sweep_json(args, report, elapsed):
     }
     with open(args.json_out, "w") as fileobj:
         json.dump(record, fileobj, indent=2, sort_keys=True)
+
+
+def cmd_profile(args):
+    """cProfile one artefact sweep (serial, uncached, GC rules identical
+    to a bench run) and print the hot-function table plus the per-job
+    wall-time histogram the progress hook collects."""
+    import cProfile
+    import io
+
+    from .analysis.ascii_charts import bar_chart
+
+    progress = SweepProgress(stream=io.StringIO())  # histogram, no output
+    engine = SweepEngine(jobs=1, cache=False, progress=progress)
+    profiler = cProfile.Profile()
+    started = time.time()
+    profiler.enable()
+    EXPERIMENTS[args.name](scale=args.scale, seed=args.seed, engine=engine)
+    profiler.disable()
+    elapsed = time.time() - started
+    profiler.create_stats()
+
+    sort_index = {"calls": 1, "tottime": 2, "cumtime": 3}[args.sort]
+    rows = []
+    for (filename, lineno, func), (cc, nc, tt, ct, _callers) in sorted(
+            profiler.stats.items(),
+            key=lambda item: item[1][sort_index],
+            reverse=True)[:args.top]:
+        where = filename
+        marker = os.sep + os.path.join("repro", "")
+        if marker in where:  # shorten to the package-relative path
+            where = "repro/" + where.split(marker, 1)[1].replace(os.sep, "/")
+        label = ("%s:%d(%s)" % (where, lineno, func) if lineno
+                 else "{%s}" % func)
+        rows.append(["%d" % nc, "%.3f" % tt, "%.3f" % ct, label])
+    print(render_table(
+        ["ncalls", "tottime", "cumtime", "function"], rows,
+        title="repro profile %s --scale %g --seed %d (top %d by %s, "
+              "%.2fs wall under cProfile)"
+              % (args.name, args.scale, args.seed, args.top, args.sort,
+                 elapsed)))
+
+    job_ms = progress.job_ms
+    if job_ms.count:
+        series = []
+        lower = 0
+        for bound, count in zip(job_ms.bounds, job_ms.counts):
+            if count:
+                series.append(("%d-%dms" % (lower, bound), count))
+            lower = bound
+        if job_ms.counts[-1]:
+            series.append((">%dms" % job_ms.bounds[-1], job_ms.counts[-1]))
+        print()
+        print(bar_chart(
+            series, fmt="%d",
+            title="per-job wall time (%d jobs, mean %.0fms, max %dms)"
+                  % (job_ms.count, job_ms.mean, job_ms.max)))
+
+    if args.out:
+        profiler.dump_stats(args.out)
+        print("\nwrote %s" % args.out)
+    return 0
 
 
 def cmd_lint(args):
@@ -588,6 +688,7 @@ COMMANDS = {
     "trace": cmd_trace,
     "report": cmd_report,
     "sweep": cmd_sweep,
+    "profile": cmd_profile,
     "lint": cmd_lint,
     "fuzz": cmd_fuzz,
     "serve": cmd_serve,

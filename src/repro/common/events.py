@@ -5,6 +5,14 @@ network fabric and the barrier manager all schedule plain callbacks at
 absolute times (in CPU cycles).  Events scheduled for the same cycle fire in
 scheduling order (a monotonically increasing sequence number breaks ties),
 which keeps runs fully deterministic.
+
+The queue is on the hot path of every simulated cycle, so the public
+validated entry points (:meth:`schedule` / :meth:`schedule_at`) are joined
+by two fast paths: :meth:`push_at`, an unchecked push for call sites that
+can prove their timestamps are never in the past (the fabric, the
+processors' self-rescheduling), and :meth:`schedule_many`, which amortises
+validation and attribute lookups over a whole batch.  :meth:`run` inlines
+the pop/fire loop instead of delegating to :meth:`step`.
 """
 
 import heapq
@@ -12,6 +20,8 @@ import heapq
 
 class EventQueue:
     """A deterministic discrete-event queue keyed by absolute cycle time."""
+
+    __slots__ = ("_heap", "_seq", "_now", "_processed")
 
     def __init__(self):
         self._heap = []
@@ -42,7 +52,8 @@ class EventQueue:
         """
         if delay < 0:
             raise ValueError("cannot schedule an event in the past (delay=%r)" % delay)
-        self.schedule_at(self._now + delay, callback, *args)
+        heapq.heappush(self._heap, (self._now + delay, self._seq, callback, args))
+        self._seq += 1
 
     def schedule_at(self, time, callback, *args):
         """Schedule ``callback(*args)`` at absolute cycle ``time``."""
@@ -52,6 +63,43 @@ class EventQueue:
             )
         heapq.heappush(self._heap, (time, self._seq, callback, args))
         self._seq += 1
+
+    def push_at(self, time, callback, *args):
+        """Unchecked :meth:`schedule_at` for proven-safe hot call sites.
+
+        Callers must guarantee ``time >= now`` (e.g. ``now`` plus a
+        non-negative latency).  A past timestamp here would not raise —
+        it would silently fire out of order — so this is reserved for the
+        fabric and other core loops whose arithmetic makes the invariant
+        structural.
+        """
+        heapq.heappush(self._heap, (time, self._seq, callback, args))
+        self._seq += 1
+
+    def schedule_many(self, batch):
+        """Schedule a batch of ``(delay, callback, args)`` triples.
+
+        Equivalent to calling :meth:`schedule` per triple (same validation,
+        same deterministic ordering: batch order breaks same-cycle ties) but
+        with the per-event attribute lookups hoisted out of the loop.
+        ``args`` must be a tuple.  Returns the number of events scheduled.
+        """
+        now = self._now
+        heap = self._heap
+        seq = self._seq
+        push = heapq.heappush
+        count = 0
+        try:
+            for delay, callback, args in batch:
+                if delay < 0:
+                    raise ValueError(
+                        "cannot schedule an event in the past (delay=%r)" % delay)
+                push(heap, (now + delay, seq, callback, args))
+                seq += 1
+                count += 1
+        finally:
+            self._seq = seq
+        return count
 
     def step(self):
         """Fire the single next event.  Returns False when the queue is empty."""
@@ -72,15 +120,35 @@ class EventQueue:
         there), so callers comparing ``now`` against their cap see the true
         stall point rather than the last fired event.  Returns the number of
         events processed by this call.
+
+        The loop is inlined (no :meth:`step` call per event) and the
+        ``processed`` counter is folded in via try/finally, preserving the
+        historical invariant that an event's own firing is already counted
+        if its callback raises — fuzz repro digests embed that number.
         """
+        heap = self._heap
+        pop = heapq.heappop
         fired = 0
-        while self._heap:
-            if max_events is not None and fired >= max_events:
-                break
-            if max_cycles is not None and self._heap[0][0] > max_cycles:
-                if max_cycles > self._now:
-                    self._now = max_cycles
-                break
-            self.step()
-            fired += 1
+        try:
+            if max_events is None and max_cycles is None:
+                # Uncapped fast path — the common case for real runs.
+                while heap:
+                    time, _seq, callback, args = pop(heap)
+                    self._now = time
+                    fired += 1
+                    callback(*args)
+            else:
+                while heap:
+                    if max_events is not None and fired >= max_events:
+                        break
+                    if max_cycles is not None and heap[0][0] > max_cycles:
+                        if max_cycles > self._now:
+                            self._now = max_cycles
+                        break
+                    item = pop(heap)
+                    self._now = item[0]
+                    fired += 1
+                    item[2](*item[3])
+        finally:
+            self._processed += fired
         return fired

@@ -23,6 +23,7 @@ class AddressMap:
             raise ConfigError("page size must be a power of two")
         self.num_nodes = num_nodes
         self.page_size = page_size
+        self._page_shift = page_size.bit_length() - 1
         self._page_homes = {}
 
     def place_page(self, addr, home):
@@ -41,7 +42,7 @@ class AddressMap:
 
     def home_of(self, addr):
         """Home node of the line containing ``addr``."""
-        page = addr // self.page_size
+        page = addr >> self._page_shift
         home = self._page_homes.get(page)
         if home is not None:
             return home

@@ -25,8 +25,6 @@ presence.
 """
 
 import enum
-from dataclasses import dataclass, field
-from typing import Optional, Set
 
 
 class DirState(enum.Enum):
@@ -36,7 +34,6 @@ class DirState(enum.Enum):
     DELE = "DELE"
 
 
-@dataclass
 class DirectoryEntry:
     """Authoritative home-side record for one cache line.
 
@@ -44,23 +41,40 @@ class DirectoryEntry:
     consumer set survives a SHARED -> EXCL transition, which is exactly the
     paper's "add an ownerID field and use the old sharing vector to track
     the nodes to send updates" trick — here ``owner`` is that field).
+
+    A slotted hand-rolled class (not a dataclass): one of these exists per
+    line per home, and every transaction reads and writes several fields,
+    so attribute storage and construction are on the hot path.
     """
 
-    addr: int
-    state: DirState = DirState.UNOWNED
-    sharers: Set[int] = field(default_factory=set)
-    owner: Optional[int] = None
-    value: int = 0
-    delegate: Optional[int] = None
-    busy: Optional[object] = None  # protocol-layer transaction record
-    # Speculative-update bookkeeping (meaningful on delegated entries):
-    # undelegation is deferred while pushed updates are unacknowledged.
-    pending_updates: int = 0
-    deferred_undelegate: Optional[str] = None
-    # Selective-update pruning (§2.4.2 refinement): consumers whose acks
-    # reported the previous push unconsumed accumulate strikes and stop
-    # receiving updates; an actual read clears the strikes.
-    update_strikes: dict = field(default_factory=dict)
+    __slots__ = ("addr", "state", "sharers", "owner", "value", "delegate",
+                 "busy", "pending_updates", "deferred_undelegate",
+                 "update_strikes")
+
+    def __init__(self, addr, state=DirState.UNOWNED, sharers=None, owner=None,
+                 value=0, delegate=None, busy=None, pending_updates=0,
+                 deferred_undelegate=None, update_strikes=None):
+        self.addr = addr
+        self.state = state
+        self.sharers = set() if sharers is None else sharers
+        self.owner = owner
+        self.value = value
+        self.delegate = delegate
+        self.busy = busy  # protocol-layer transaction record
+        # Speculative-update bookkeeping (meaningful on delegated entries):
+        # undelegation is deferred while pushed updates are unacknowledged.
+        self.pending_updates = pending_updates
+        self.deferred_undelegate = deferred_undelegate
+        # Selective-update pruning (§2.4.2 refinement): consumers whose
+        # acks reported the previous push unconsumed accumulate strikes and
+        # stop receiving updates; an actual read clears the strikes.
+        self.update_strikes = {} if update_strikes is None else update_strikes
+
+    def __repr__(self):
+        return ("DirectoryEntry(addr=0x%x, state=%s, sharers=%r, owner=%r, "
+                "delegate=%r)" % (self.addr, self.state.value,
+                                  sorted(self.sharers), self.owner,
+                                  self.delegate))
 
     def snapshot(self):
         """A plain-dict image of directory info, as carried by DELEGATE and

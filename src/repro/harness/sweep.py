@@ -39,6 +39,7 @@ Typical use::
     print(runs[("em3d", "base")].metrics.cycles)
 """
 
+import gc
 import hashlib
 import json
 import os
@@ -545,10 +546,19 @@ class SweepEngine:
 
     def __init__(self, jobs=1, cache=False, cache_dir=CACHE_DIR,
                  progress=None, mp_context="spawn", runner=None,
-                 decoder=None, cache_budget=None):
+                 decoder=None, cache_budget=None, clamp=True):
         if jobs < 1:
             raise ValueError("jobs must be >= 1, got %r" % jobs)
         self.jobs = jobs
+        # More spawn workers than cores is pure overhead (~0.5-1s python
+        # start-up per worker) on top of zero parallel speedup, so the
+        # effective pool width is clamped to the machine.  ``clamp=False``
+        # opts out — tests exercising the pool on small CI boxes need the
+        # spawn path regardless of core count.
+        if clamp:
+            self.effective_jobs = max(1, min(jobs, os.cpu_count() or 1))
+        else:
+            self.effective_jobs = jobs
         self.cache = (ResultCache(cache_dir, budget_bytes=cache_budget)
                       if cache else None)
         self.runner = runner
@@ -619,18 +629,31 @@ class SweepEngine:
     # -- execution ---------------------------------------------------------
 
     def _execute(self, misses, payloads, times):
-        if self.jobs == 1 or len(misses) == 1:
-            for key, job in misses.items():
-                job_started = time.monotonic()
-                status, payload = _execute_job(job, self.runner)
-                self._finish(key, job, status, payload, payloads, times,
-                             time.monotonic() - job_started)
+        if self.effective_jobs == 1 or len(misses) == 1:
+            # Serial in-process runs pause the cyclic GC: simulations
+            # allocate heavily (events, payload dicts) but the message
+            # pool and per-job teardown bound real garbage, so the
+            # per-collection pauses are pure overhead (~10% of a sweep).
+            # One collect at the end reclaims the Systems' cycles.
+            gc_was_enabled = gc.isenabled()
+            if gc_was_enabled:
+                gc.disable()
+            try:
+                for key, job in misses.items():
+                    job_started = time.monotonic()
+                    status, payload = _execute_job(job, self.runner)
+                    self._finish(key, job, status, payload, payloads, times,
+                                 time.monotonic() - job_started)
+            finally:
+                if gc_was_enabled:
+                    gc.enable()
+                    gc.collect()
             return
         import multiprocessing
         from concurrent.futures.process import BrokenProcessPool
 
         context = multiprocessing.get_context(self.mp_context)
-        workers = min(self.jobs, len(misses))
+        workers = min(self.effective_jobs, len(misses))
         with futures.ProcessPoolExecutor(max_workers=workers,
                                          mp_context=context) as pool:
             pending = {}

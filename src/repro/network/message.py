@@ -5,11 +5,19 @@ Sizes follow the paper's NUMALink model: a 32-byte minimum (header-only)
 packet, plus a full 128-byte cache line for data-bearing messages.  The
 evaluation's "network messages" and traffic-byte figures count exactly what
 goes through :meth:`repro.network.fabric.Fabric.send`.
+
+``Message`` is a slotted, pooled object rather than a dataclass: the sim
+core allocates one per hop of every transaction, so construction cost and
+per-message dict churn dominated profiles (see docs/performance.md).  The
+pool follows sesc's ``pool<CacheCoherenceMsg>`` idiom — instances released
+at the fabric's delivery quiescence point are recycled through a free list,
+while ``msg_id`` numbering stays a pure function of construction order so
+reprs, traces and ``ProtocolError`` text replay byte-for-byte.
 """
 
 import enum
 import itertools
-from dataclasses import dataclass, field
+from types import MappingProxyType
 
 
 class MsgType(enum.Enum):
@@ -61,6 +69,27 @@ class MsgType(enum.Enum):
         self.data_bearing = data_bearing
 
 
+# Dense per-type attributes for the hot path, assigned after the enum is
+# sealed (enum members reject new attributes only during class creation):
+#   index        — 0..N-1 position, used by the hub's pre-bound handler
+#                  array and the fabric's per-type size table
+#   sent_counter — the fully-formed "msg.sent.<LABEL>" stats key, so the
+#                  fabric does not rebuild the string per send
+for _i, _member in enumerate(MsgType):
+    _member.index = _i
+    _member.sent_counter = "msg.sent." + _member.label
+del _i, _member
+
+NUM_MSG_TYPES = len(MsgType)
+
+#: Shared immutable empty payload.  Header-only messages (the majority —
+#: every NACK, INV, ack...) used to allocate a fresh dict each; now they
+#: share this sentinel.  It supports the full read API (``.get``,
+#: ``[...]``, ``dict(...)``, truthiness) and raises on mutation, which is
+#: exactly the aliasing guarantee a per-message empty dict gave us.
+EMPTY_PAYLOAD = MappingProxyType({})
+
+
 _msg_ids = itertools.count()
 
 
@@ -78,7 +107,6 @@ def reset_msg_ids():
     _msg_ids = itertools.count()
 
 
-@dataclass
 class Message:
     """One network packet.
 
@@ -86,15 +114,59 @@ class Message:
     fields: requester identity, directory snapshots for DELEGATE/UNDELE,
     pending-request info, etc.  ``value`` is the cache-line data image for
     data-bearing types.
+
+    Construction transparently draws from a bounded free list (see
+    :meth:`release`); every field is (re)assigned on construction, and a
+    fresh ``msg_id`` is drawn unless the caller pins one, so pooling is
+    invisible to protocol code and to determinism.
     """
 
-    mtype: MsgType
-    src: int
-    dst: int
-    addr: int
-    value: int = 0
-    payload: dict = field(default_factory=dict)
-    msg_id: int = field(default_factory=lambda: next(_msg_ids))
+    __slots__ = ("mtype", "src", "dst", "addr", "value", "payload", "msg_id")
+
+    _pool = []
+    _pool_limit = 4096
+    pool_allocations = 0  # total heap allocations (pool misses)
+
+    def __new__(cls, mtype, src, dst, addr, value=0, payload=EMPTY_PAYLOAD,
+                msg_id=None):
+        pool = cls._pool
+        if pool:
+            self = pool.pop()
+        else:
+            self = super().__new__(cls)
+            cls.pool_allocations += 1
+        self.mtype = mtype
+        self.src = src
+        self.dst = dst
+        self.addr = addr
+        self.value = value
+        self.payload = payload
+        self.msg_id = next(_msg_ids) if msg_id is None else msg_id
+        return self
+
+    def release(self):
+        """Return this message to the free list.
+
+        Only the fabric calls this, at its delivery quiescence point, and
+        only after proving via refcount that no handler retained the
+        message.  The payload is dropped first so pooled instances never
+        pin protocol dicts alive.
+        """
+        self.payload = EMPTY_PAYLOAD
+        pool = Message._pool
+        if len(pool) < Message._pool_limit:
+            pool.append(self)
+
+    @classmethod
+    def pool_stats(cls):
+        """Free-list statistics: ``{"free", "allocations"}``."""
+        return {"free": len(cls._pool), "allocations": cls.pool_allocations}
+
+    @classmethod
+    def clear_pool(cls):
+        """Drop all pooled instances (tests / benchmarks)."""
+        cls._pool.clear()
+        cls.pool_allocations = 0
 
     def size_bytes(self, header_bytes, line_size):
         return header_bytes + (line_size if self.mtype.data_bearing else 0)

@@ -70,7 +70,7 @@ class Hub(RequesterMixin, HomeMixin, ProducerMixin):
         self.miss = None
         self._retry_rng = stream(self.config.seed, "retry-%d" % node)
         self._intervention_epoch = {}
-        self.fabric.attach(node, self.dispatch)
+        self._enable_updates = protocol.enable_updates
 
         self._handlers = {
             MsgType.GETS: self._route_request,
@@ -97,22 +97,43 @@ class Hub(RequesterMixin, HomeMixin, ProducerMixin):
             MsgType.UPDATE: self._on_update,
             MsgType.UPDATE_ACK: self._on_update_ack,
         }
+        # Pre-bound dispatch array indexed by the dense MsgType.index; the
+        # dict above stays the single source of truth (repro.lint's
+        # protocol-graph extractor parses it) and this is its compiled
+        # form.  All 23 types are handled today, but the array is built
+        # defensively so a future unhandled type still raises the
+        # structured error via _unhandled.
+        self._handler_array = [
+            self._handlers.get(mtype, self._unhandled) for mtype in MsgType
+        ]
+        self.send = self.fabric.send
+        self.fabric.attach(node, self.dispatch, table=self._handler_array)
 
     # -- plumbing -----------------------------------------------------------
 
+    # Bound through to the fabric in __init__ (one frame per message saved
+    # on the hottest call in the simulator); the def remains as the
+    # class-level fallback and documentation of the interface.
     def send(self, msg):
         self.fabric.send(msg)
 
     def dispatch(self, msg):
         """Entry point for every message delivered to this node."""
-        handler = self._handlers.get(msg.mtype)
-        if handler is None:
-            dir_state = None
-            if self.address_map.home_of(msg.addr) == self.node:
-                dir_state = self.home_memory.entry(msg.addr).state.value
-            raise UnhandledMessageError(self.node, msg.mtype, dir_state,
-                                        msg, cycle=self.events.now)
+        try:
+            handler = self._handler_array[msg.mtype.index]
+        except (AttributeError, TypeError, IndexError):
+            # Anything that is not a real MsgType lands here (note that a
+            # str mtype resolves .index to the str method -> TypeError).
+            self._unhandled(msg)
+            return
         handler(msg)
+
+    def _unhandled(self, msg):
+        dir_state = None
+        if self.address_map.home_of(msg.addr) == self.node:
+            dir_state = self.home_memory.entry(msg.addr).state.value
+        raise UnhandledMessageError(self.node, msg.mtype, dir_state,
+                                    msg, cycle=self.events.now)
 
     def _route_request(self, msg):
         """GETS/GETX routing: acting home, real home, or stale-hint bounce."""

@@ -198,7 +198,7 @@ class RequesterMixin:
                 pass  # RAC-satisfied; nothing further
         # An invalidation raced with this read: the fill above may use its
         # value exactly once (the blocked read), then the copy must go.
-        if miss.kind is MissKind.READ and getattr(miss, "pending_inv", False):
+        if miss.kind is MissKind.READ and miss.pending_inv:
             self._drop_after_use(miss.addr)
         producer_entry = (self.producer_table.lookup(miss.addr, touch=True)
                           if self.producer_table is not None else None)
@@ -209,7 +209,7 @@ class RequesterMixin:
             self._run_deferred_undelegation(miss.addr, producer_entry)
             if miss.addr not in self.producer_table:
                 producer_entry = None  # undelegation happened; no updates
-        if miss.kind is MissKind.WRITE and self.config.protocol.enable_updates:
+        if miss.kind is MissKind.WRITE and self._enable_updates:
             if producer_entry is not None:
                 self._schedule_intervention(miss.addr)
             elif (self.address_map.home_of(miss.addr) == self.node
@@ -238,12 +238,13 @@ class RequesterMixin:
                               dst=self.address_map.home_of(addr), addr=addr))
 
     def _account_miss(self, path):
+        counters = self.stats._counters
         if path is PathClass.LOCAL:
-            self.stats.inc(S.MISS_LOCAL)
+            counters[S.MISS_LOCAL] += 1
         elif path is PathClass.TWO_HOP:
-            self.stats.inc(S.MISS_2HOP)
+            counters[S.MISS_2HOP] += 1
         elif path is PathClass.THREE_HOP:
-            self.stats.inc(S.MISS_3HOP)
+            counters[S.MISS_3HOP] += 1
         else:
             raise self._protocol_error("unclassified miss path %r" % path)
 

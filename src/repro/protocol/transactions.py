@@ -12,8 +12,6 @@ Two kinds of in-flight bookkeeping exist:
 """
 
 import enum
-from dataclasses import dataclass, field
-from typing import Callable, Optional
 
 
 class MissKind(enum.Enum):
@@ -29,25 +27,37 @@ class PathClass(enum.Enum):
     THREE_HOP = "3hop"    # a third party (owner/sharer/forward) intervened
 
 
-@dataclass
 class OutstandingMiss:
-    """One processor-initiated miss from issue to completion."""
+    """One processor-initiated miss from issue to completion.
 
-    addr: int
-    kind: MissKind
-    callback: Callable  # invoked as callback(path_class) when done
-    store_value: int = 0
-    start_time: int = 0
-    target: Optional[int] = None
-    acks_needed: Optional[int] = None  # None until the grant arrives
-    acks_got: int = 0
-    granted: bool = False
-    grant_state: Optional[object] = None  # LineState to fill with
-    grant_value: int = 0
-    path: PathClass = PathClass.TWO_HOP
-    retries: int = 0
-    done: bool = False
-    pending_inv: bool = False  # an INV raced this read; drop line after use
+    Slotted: one is allocated per processor miss and its fields are read
+    on every reply/ack/NACK on the miss path.
+    """
+
+    __slots__ = ("addr", "kind", "callback", "store_value", "start_time",
+                 "target", "acks_needed", "acks_got", "granted",
+                 "grant_state", "grant_value", "path", "retries", "done",
+                 "pending_inv")
+
+    def __init__(self, addr, kind, callback, store_value=0, start_time=0,
+                 target=None, acks_needed=None, acks_got=0, granted=False,
+                 grant_state=None, grant_value=0, path=PathClass.TWO_HOP,
+                 retries=0, done=False, pending_inv=False):
+        self.addr = addr
+        self.kind = kind
+        self.callback = callback  # invoked as callback(path_class) when done
+        self.store_value = store_value
+        self.start_time = start_time
+        self.target = target
+        self.acks_needed = acks_needed  # None until the grant arrives
+        self.acks_got = acks_got
+        self.granted = granted
+        self.grant_state = grant_state  # LineState to fill with
+        self.grant_value = grant_value
+        self.path = path
+        self.retries = retries
+        self.done = done
+        self.pending_inv = pending_inv  # an INV raced this read; drop line after use
 
     def complete_when_ready(self):
         """True when both the grant and every expected ack have arrived."""
@@ -62,13 +72,17 @@ class BusyKind(enum.Enum):
     INVALIDATING = "invalidating"   # producer collecting INV acks locally
 
 
-@dataclass
 class BusyRecord:
     """Attached to a DirectoryEntry while a home-side transaction runs."""
 
-    kind: BusyKind
-    requester: Optional[int] = None
-    req_msg: Optional[object] = None   # buffered request to replay
-    acks_needed: int = 0
-    acks_got: int = 0
-    info: dict = field(default_factory=dict)
+    __slots__ = ("kind", "requester", "req_msg", "acks_needed", "acks_got",
+                 "info")
+
+    def __init__(self, kind, requester=None, req_msg=None, acks_needed=0,
+                 acks_got=0, info=None):
+        self.kind = kind
+        self.requester = requester
+        self.req_msg = req_msg   # buffered request to replay
+        self.acks_needed = acks_needed
+        self.acks_got = acks_got
+        self.info = {} if info is None else info

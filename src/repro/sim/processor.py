@@ -12,6 +12,8 @@ and a blocking CPU preserves the *relative* cost of local vs. 2-hop vs.
 3-hop misses that drives every result being reproduced.
 """
 
+from heapq import heappush
+
 from ..common.errors import SimulationError
 from . import trace
 
@@ -32,6 +34,17 @@ class Processor:
         self.finish_time = None
         self.ops_executed = 0
         self._blocked_since = None
+        # Hot-loop hoists: every op pays for these lookups otherwise.
+        self._next_op = self._ops.__next__
+        self._counters = system.stats._counters
+        line_mask = ~(system.config.line_size - 1)
+        self._line_mask = line_mask  # == config.line_of per op
+        self._l1_latency = system.config.l1.latency
+        self._hier_read = hub.hierarchy.read
+        self._hier_write = hub.hierarchy.write
+        checker = system.checker
+        self._record_read = checker.record_read if checker else None
+        self._record_write = checker.record_write if checker else None
 
     def start(self):
         self.events.schedule(0, self._step)
@@ -40,20 +53,27 @@ class Processor:
 
     def _step(self):
         try:
-            op = next(self._ops)
+            op = self._next_op()
         except StopIteration:
             self.finished = True
             self.finish_time = self.events.now
             self.system.on_cpu_finished(self.node)
             return
         self.ops_executed += 1
-        if isinstance(op, trace.Compute):
-            self.events.schedule(max(op.cycles, 1), self._step)
-        elif isinstance(op, trace.Read):
-            self._do_read(self.system.config.line_of(op.addr))
-        elif isinstance(op, trace.Write):
-            self._do_write(self.system.config.line_of(op.addr))
-        elif isinstance(op, trace.Barrier):
+        cls = op.__class__
+        if cls is trace.Compute:
+            cycles = op.cycles
+            events = self.events
+            # Inlined push_at: delays are >= 1 by construction.
+            heappush(events._heap,
+                     (events._now + (cycles if cycles > 1 else 1),
+                      events._seq, self._step, ()))
+            events._seq += 1
+        elif cls is trace.Read:
+            self._do_read(op.addr & self._line_mask)
+        elif cls is trace.Write:
+            self._do_write(op.addr & self._line_mask)
+        elif cls is trace.Barrier:
             self.system.barrier.arrive(self.node, op.bid, self._step)
         else:
             raise SimulationError("node %d: unknown op %r" % (self.node, op))
@@ -61,19 +81,23 @@ class Processor:
     # -- loads ----------------------------------------------------------------
 
     def _do_read(self, addr):
-        result = self.hub.hierarchy.read(addr)
+        result = self._hier_read(addr)
         if result.hit:
-            self.stats.inc("hit.l1" if result.latency
-                           == self.system.config.l1.latency else "hit.l2")
-            if self.checker is not None:
-                now = self.events.now
-                self.checker.record_read(self.node, addr, result.value,
-                                         now, now + result.latency)
-            self.events.schedule(result.latency, self._step)
+            latency = result.latency
+            self._counters["hit.l1" if latency == self._l1_latency
+                           else "hit.l2"] += 1
+            events = self.events
+            now = events._now
+            if self._record_read is not None:
+                self._record_read(self.node, addr, result.value,
+                                  now, now + latency)
+            heappush(events._heap,
+                     (now + latency, events._seq, self._step, ()))
+            events._seq += 1
             return
         start = self.events.now
         self._blocked_since = start
-        self.stats.inc("miss.read")
+        self._counters["miss.read"] += 1
         self.hub.request_read(addr, lambda path: self._finish_read(addr, start))
 
     def _finish_read(self, addr, start):
@@ -99,17 +123,21 @@ class Processor:
     def _do_write(self, addr):
         value = (self.checker.next_version() if self.checker is not None
                  else self.events.now + self.node)
-        result = self.hub.hierarchy.write(addr, value)
+        result = self._hier_write(addr, value)
         if result.hit:
-            if self.checker is not None:
-                now = self.events.now
-                self.checker.record_write(self.node, addr, value,
-                                          now, now + result.latency)
-            self.events.schedule(result.latency, self._step)
+            latency = result.latency
+            events = self.events
+            now = events._now
+            if self._record_write is not None:
+                self._record_write(self.node, addr, value,
+                                   now, now + latency)
+            heappush(events._heap,
+                     (now + latency, events._seq, self._step, ()))
+            events._seq += 1
             return
         start = self.events.now
         self._blocked_since = start
-        self.stats.inc("miss.write")
+        self._counters["miss.write"] += 1
         self.hub.request_write(
             addr, value, lambda path: self._finish_write(addr, value, start))
 

@@ -12,37 +12,93 @@ ones — the simulator pulls operations lazily, so generated workloads never
 materialise in memory).
 """
 
-from dataclasses import dataclass
+# The four op classes are hand-rolled __slots__ types rather than frozen
+# dataclasses: workload generators build one object per executed op, and
+# the frozen-dataclass __init__ (object.__setattr__ per field) was
+# measurable in whole-run profiles.  They keep dataclass-style value
+# equality, hashing and repr; treat instances as immutable.
 
 
-@dataclass(frozen=True)
 class Compute:
     """Spin the CPU for ``cycles`` cycles of local work."""
 
-    cycles: int
+    __slots__ = ("cycles",)
+
+    def __init__(self, cycles):
+        self.cycles = cycles
+
+    def __eq__(self, other):
+        if other.__class__ is not Compute:
+            return NotImplemented
+        return other.cycles == self.cycles
+
+    def __hash__(self):
+        return hash((Compute, self.cycles))
+
+    def __repr__(self):
+        return "Compute(cycles=%r)" % (self.cycles,)
 
 
-@dataclass(frozen=True)
 class Read:
     """Load from byte address ``addr``."""
 
-    addr: int
+    __slots__ = ("addr",)
+
+    def __init__(self, addr):
+        self.addr = addr
+
+    def __eq__(self, other):
+        if other.__class__ is not Read:
+            return NotImplemented
+        return other.addr == self.addr
+
+    def __hash__(self):
+        return hash((Read, self.addr))
+
+    def __repr__(self):
+        return "Read(addr=%r)" % (self.addr,)
 
 
-@dataclass(frozen=True)
 class Write:
     """Store to byte address ``addr`` (the value is a version number the
     simulator assigns at execution time for coherence checking)."""
 
-    addr: int
+    __slots__ = ("addr",)
+
+    def __init__(self, addr):
+        self.addr = addr
+
+    def __eq__(self, other):
+        if other.__class__ is not Write:
+            return NotImplemented
+        return other.addr == self.addr
+
+    def __hash__(self):
+        return hash((Write, self.addr))
+
+    def __repr__(self):
+        return "Write(addr=%r)" % (self.addr,)
 
 
-@dataclass(frozen=True)
 class Barrier:
     """Synchronise with every other participating CPU.  ``bid`` is a
     sanity label: all CPUs must arrive at barriers in the same order."""
 
-    bid: int
+    __slots__ = ("bid",)
+
+    def __init__(self, bid):
+        self.bid = bid
+
+    def __eq__(self, other):
+        if other.__class__ is not Barrier:
+            return NotImplemented
+        return other.bid == self.bid
+
+    def __hash__(self):
+        return hash((Barrier, self.bid))
+
+    def __repr__(self):
+        return "Barrier(bid=%r)" % (self.bid,)
 
 
 def count_ops(stream):

@@ -81,6 +81,28 @@ class TestSerialEngine:
         assert err.value.key == job_key(bad)
         assert "no_such_app" in err.value.worker_traceback
 
+    def test_gc_state_restored_after_serial_batch(self):
+        import gc
+        assert gc.isenabled()
+        SweepEngine().run_many([job()])
+        assert gc.isenabled()
+
+
+class TestWorkerClamp:
+    def test_clamped_to_cpu_count(self):
+        import os
+        cores = os.cpu_count() or 1
+        engine = SweepEngine(jobs=cores + 7)
+        assert engine.jobs == cores + 7       # requested width is kept
+        assert engine.effective_jobs == cores  # pool width is not
+
+    def test_opt_out_keeps_requested_width(self):
+        engine = SweepEngine(jobs=64, clamp=False)
+        assert engine.effective_jobs == 64
+
+    def test_serial_engine_unaffected(self):
+        assert SweepEngine(jobs=1).effective_jobs == 1
+
 
 class TestCache:
     def test_second_run_executes_nothing(self, tmp_path):
@@ -176,7 +198,7 @@ class TestParallel:
 
     def test_parallel_identical_to_serial(self):
         serial = SweepEngine(jobs=1).run_many(self.batch())
-        parallel = SweepEngine(jobs=2).run_many(self.batch())
+        parallel = SweepEngine(jobs=2, clamp=False).run_many(self.batch())
         assert set(serial) == set(parallel)
         for key in serial:
             assert parallel[key].metrics == serial[key].metrics
@@ -189,12 +211,13 @@ class TestParallel:
                        scale=SCALE)
         jobs["bad"] = bad
         with pytest.raises(SweepError) as err:
-            SweepEngine(jobs=2).run_many(jobs)
+            SweepEngine(jobs=2, clamp=False).run_many(jobs)
         assert err.value.key == job_key(bad)
         assert "no_such_app" in err.value.worker_traceback
 
     def test_parallel_populates_shared_cache(self, tmp_path):
-        engine = SweepEngine(jobs=2, cache=True, cache_dir=str(tmp_path))
+        engine = SweepEngine(jobs=2, clamp=False, cache=True,
+                             cache_dir=str(tmp_path))
         engine.run_many(self.batch())
         assert engine.last_report.executed == 4
         engine.run_many(self.batch())
