@@ -7,6 +7,11 @@ Commands
 ``run APP``
     Run one application on one (or every) system preset and print the
     evaluation metrics.
+``arena``
+    Race the registered coherence protocols (adaptive, write-invalidate,
+    MESI, Dragon) over a workload matrix and print the comparison:
+    traffic bytes, hop-class breakdown, miss-latency p50/p95 per cell
+    (see docs/protocols.md).
 ``experiment NAME``
     Regenerate one paper artefact (table3, figure7..figure12, headline,
     delegation-only) and print it.
@@ -48,9 +53,11 @@ from . import __version__
 from .analysis import render_table
 from .analysis.area import area_of
 from .common import params
+from .harness import arena as arena_harness
 from .harness import experiments, run_app
 from .harness import sweep as sweep_mod
-from .harness.sweep import SweepEngine, SweepProgress
+from .harness.sweep import OverrideEngine, SweepEngine, SweepProgress
+from .protocol import arena as arena_mod
 from .mc import ALL_INVARIANTS, ModelChecker, ProtocolModel
 from .obs import TraceConfig, Tracer, export_jsonl, export_perfetto
 from .workloads import application_names
@@ -92,8 +99,47 @@ def build_parser():
                        choices=["all"] + list(params.EVALUATED_SYSTEMS))
     run_p.add_argument("--scale", type=float, default=1.0)
     run_p.add_argument("--seed", type=int, default=12345)
+    run_p.add_argument("--protocol", default=None,
+                       choices=arena_mod.protocol_names(),
+                       help="coherence protocol (default: the config's, "
+                            "i.e. adaptive)")
+    run_p.add_argument("--directory-format", default=None, metavar="FMT",
+                       help="directory sharer encoding: full, coarse:G, "
+                            "limited:K (default: the config's)")
     run_p.add_argument("--no-check", action="store_true",
                        help="disable online coherence checking (faster)")
+
+    arena_p = sub.add_parser(
+        "arena", help="race the arena protocols over a workload matrix")
+    arena_p.add_argument("--apps", default=",".join(arena_harness.DEFAULT_APPS),
+                         metavar="A,B,...",
+                         help="comma-separated applications "
+                              "(default: %(default)s)")
+    arena_p.add_argument("--protocols",
+                         default=",".join(arena_mod.ARENA_PROTOCOLS),
+                         metavar="P,Q,...",
+                         help="comma-separated protocols "
+                              "(default: %(default)s)")
+    arena_p.add_argument("--base", default="small",
+                         choices=sorted({"small", "large", "baseline"}
+                                        | set(params.EVALUATED_SYSTEMS)),
+                         help="shared base config preset; each protocol "
+                              "normalises it onto its own feature set "
+                              "(default: %(default)s)")
+    arena_p.add_argument("--scale", type=float, default=0.5)
+    arena_p.add_argument("--seed", type=int, default=12345)
+    arena_p.add_argument("--jobs", type=int, default=None, metavar="N",
+                         help="worker processes (default: all CPU cores)")
+    arena_p.add_argument("--no-cache", action="store_true",
+                         help="do not read or write the on-disk result "
+                              "cache")
+    arena_p.add_argument("--cache-dir", default=sweep_mod.CACHE_DIR)
+    arena_p.add_argument("--directory-format", default=None, metavar="FMT",
+                         help="directory sharer encoding for every cell: "
+                              "full, coarse:G, limited:K")
+    arena_p.add_argument("--json", dest="json_out", metavar="OUT.json",
+                         default=None,
+                         help="also write the machine-readable report")
 
     exp_p = sub.add_parser("experiment", help="regenerate a paper artefact")
     exp_p.add_argument("name", choices=sorted(EXPERIMENTS))
@@ -179,6 +225,10 @@ def build_parser():
                               "the recorded stats, pytest-benchmark style)")
     sweep_p.add_argument("--quiet", action="store_true",
                          help="suppress the progress/ETA line")
+    sweep_p.add_argument("--directory-format", default=None, metavar="FMT",
+                         help="override the directory sharer encoding for "
+                              "every simulation in the sweep: full, "
+                              "coarse:G, limited:K")
 
     profile_p = sub.add_parser(
         "profile",
@@ -284,11 +334,16 @@ def cmd_list(_args):
 def cmd_run(args):
     systems = (params.EVALUATED_SYSTEMS if args.system == "all"
                else {args.system: params.EVALUATED_SYSTEMS[args.system]})
+    overrides = {}
+    if args.protocol is not None:
+        overrides["protocol_name"] = args.protocol
+    if args.directory_format is not None:
+        overrides["directory_format"] = args.directory_format
     rows = []
     base_cycles = None
     for name, factory in systems.items():
-        run = run_app(args.app, factory(), seed=args.seed, scale=args.scale,
-                      check_coherence=not args.no_check)
+        run = run_app(args.app, factory(**overrides), seed=args.seed,
+                      scale=args.scale, check_coherence=not args.no_check)
         m = run.metrics
         if base_cycles is None:
             base_cycles = m.cycles
@@ -427,8 +482,38 @@ def cmd_report(args):
     return 0
 
 
+def cmd_arena(args):
+    apps = tuple(a for a in args.apps.split(",") if a)
+    protocols = tuple(p for p in args.protocols.split(",") if p)
+    base = (params.EVALUATED_SYSTEMS[args.base]()
+            if args.base in params.EVALUATED_SYSTEMS
+            else getattr(params, args.base)())
+    if args.directory_format is not None:
+        from dataclasses import replace
+        base = replace(base, directory_format=args.directory_format)
+    jobs = args.jobs if args.jobs else (os.cpu_count() or 1)
+    engine = arena_harness.arena_engine(jobs=jobs, cache=not args.no_cache,
+                                        cache_dir=args.cache_dir)
+    report = arena_harness.run_arena(
+        apps=apps, protocols=protocols, base=base, base_name=args.base,
+        seed=args.seed, scale=args.scale, engine=engine)
+    print(report.render_text())
+    sweep_report = engine.last_report
+    print("\narena: %d cells (%d executed, %d cached), %d workers, %.2fs"
+          % (sweep_report.total, sweep_report.executed, sweep_report.cached,
+             engine.effective_jobs, sweep_report.elapsed))
+    if args.json_out:
+        with open(args.json_out, "w") as fileobj:
+            json.dump(report.to_json(), fileobj, indent=2, sort_keys=True)
+        print("wrote %s" % args.json_out)
+    return 0
+
+
 def cmd_sweep(args):
     engine = _build_engine(args, quiet=args.quiet)
+    if getattr(args, "directory_format", None):
+        engine = OverrideEngine(engine,
+                                directory_format=args.directory_format)
     rounds = max(1, getattr(args, "rounds", 1))
     round_times = []
     out = None
@@ -682,6 +767,7 @@ def cmd_serve(args):
 COMMANDS = {
     "list": cmd_list,
     "run": cmd_run,
+    "arena": cmd_arena,
     "experiment": cmd_experiment,
     "verify": cmd_verify,
     "area": cmd_area,

@@ -198,6 +198,12 @@ class SystemConfig:
     #: exact bit vector), "coarse:G" or "limited:K" — see
     #: :mod:`repro.directory.formats`.
     directory_format: str = "full"
+    #: Which coherence protocol runs the hubs: "adaptive" (the paper's
+    #: delegation/update protocol — the default and the only one with a
+    #: model-checker twin), or an arena baseline ("wi", "mesi", "dragon")
+    #: — see :mod:`repro.protocol.arena`.  Validated at System
+    #: construction, not here, to keep params import-light.
+    protocol_name: str = "adaptive"
     line_size: int = LINE_SIZE
     seed: int = 12345
 
@@ -323,6 +329,9 @@ def config_from_dict(doc):
         dram_latency=doc["dram_latency"],
         directory_cache_entries=doc["directory_cache_entries"],
         directory_format=doc["directory_format"],
+        # Pre-arena documents (committed fuzz artifacts, old cache entries)
+        # predate the field; they all ran the adaptive protocol.
+        protocol_name=doc.get("protocol_name", "adaptive"),
         line_size=doc["line_size"],
         seed=doc["seed"],
     )

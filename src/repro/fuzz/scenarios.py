@@ -53,8 +53,16 @@ class FuzzScenario:
         return self.config.num_nodes
 
     @classmethod
-    def from_seed(cls, seed, scale=1.0):
-        """Roll a full scenario from ``seed`` (deterministic)."""
+    def from_seed(cls, seed, scale=1.0, protocol=None):
+        """Roll a full scenario from ``seed`` (deterministic).
+
+        ``protocol`` pins the scenario onto one arena protocol (see
+        :mod:`repro.protocol.arena`).  It is applied *after* the RNG has
+        rolled the whole space, so ``from_seed(s, protocol=p)`` differs
+        from ``from_seed(s)`` only in ``config.protocol_name`` — the same
+        seed stresses every protocol with the identical chaos schedule,
+        workload mix and config knobs.
+        """
         rng = stream(seed, "fuzz-scenario")
         num_cpus = rng.choice((3, 4, 5, 6, 8))
 
@@ -100,6 +108,8 @@ class FuzzScenario:
                 chaos = None
 
         workloads = cls._roll_workloads(rng, num_cpus)
+        if protocol is not None:
+            config = replace(config, protocol_name=protocol)
         return cls(seed=seed, config=config, chaos=chaos,
                    workloads=workloads, scale=scale)
 

@@ -48,7 +48,7 @@ import tempfile
 import time
 import traceback
 from concurrent import futures
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from ..common.errors import ReproError
@@ -681,6 +681,41 @@ class SweepEngine:
         if self.cache is not None:
             self.cache.put(key, job, payload, elapsed)
         self.progress.job_finished(key, job, elapsed, False)
+
+
+class OverrideEngine:
+    """A sweep engine wrapper rewriting every job's config on the way in.
+
+    Experiments build their own :class:`~repro.common.params.SystemConfig`
+    matrices internally, so config knobs that cut *across* experiments —
+    ``directory_format``, ``protocol_name`` — would need threading through
+    every experiment signature.  Instead, wrap the engine::
+
+        engine = OverrideEngine(SweepEngine(jobs=4),
+                                directory_format="coarse:4")
+
+    Every submitted job then runs with the overridden fields; job keys
+    (and therefore cache entries) are computed from the rewritten config,
+    so overridden sweeps never collide with un-overridden ones.
+    Everything else (``last_report``, ``effective_jobs``...) proxies to
+    the wrapped engine.
+    """
+
+    def __init__(self, engine, **config_overrides):
+        self._engine = engine
+        self._overrides = config_overrides
+
+    def run_many(self, jobs):
+        if not isinstance(jobs, dict):
+            jobs = dict(enumerate(jobs))
+        rewritten = {
+            key: replace(job, config=replace(job.config, **self._overrides))
+            for key, job in jobs.items()
+        }
+        return self._engine.run_many(rewritten)
+
+    def __getattr__(self, name):
+        return getattr(self._engine, name)
 
 
 #: The default engine behind experiments called without an explicit one:

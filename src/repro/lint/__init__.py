@@ -12,7 +12,8 @@ Entry point: :func:`run_lint` (also exposed as ``repro lint`` on the CLI).
 from pathlib import Path
 
 from .checks import run_checks
-from .extract import extract_mc, extract_sim, extract_state_usage
+from .extract import (extract_mc, extract_protocols, extract_sim,
+                      extract_state_usage)
 from .findings import (Allowlist, Finding, LintReport,  # noqa: F401
                        Severity)
 from .report import render_json, render_sarif, render_text  # noqa: F401
@@ -46,7 +47,8 @@ def run_lint(root=None, allowlist_path=None, use_allowlist=True):
     sim = extract_sim(root)
     mc = extract_mc(root)
     states = extract_state_usage(root)
-    findings = run_checks(sim, mc, states)
+    protocols = extract_protocols(root)
+    findings = run_checks(sim, mc, states, protocols)
 
     allowlist = None
     if use_allowlist:
@@ -83,4 +85,12 @@ def run_lint(root=None, allowlist_path=None, use_allowlist=True):
             "mc_messages": len(mc.messages),
             "mc_handled": len(mc.handlers),
             "state_enums": len(states),
+            # Which arena protocols the sim<->mc conformance diff covers:
+            # the CON checks model only protocols with an mc twin, and
+            # *skip* (rather than false-positive) the rest.
+            "protocols": {
+                name: ("conformance-checked (mc twin)" if decl.mc_twin
+                       else "conformance-skipped (no mc twin)")
+                for name, decl in protocols.items()
+            },
         })

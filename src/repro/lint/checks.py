@@ -21,6 +21,9 @@ RCH002     warning    state entered but never examined (can't be left on
                       purpose — no transition is conditioned on it)
 EXT001     note       emission whose MsgType could not be resolved
                       statically (extraction blind spot)
+ARN001     error      arena protocol handler table references an unknown
+                      MsgType (baseline hubs are outside the CON graph —
+                      no mc twin — so this is their only static guard)
 ALW001     warning    stale allowlist entry (matched nothing this run)
 =========  =========  ===================================================
 
@@ -330,6 +333,34 @@ def check_extraction(sim, mc):
                 file=emission.file, line=emission.line)
 
 
+# -- ARN: arena-protocol registry ---------------------------------------------
+
+
+def check_arena(sim, protocols):
+    """ARN001: arena handler tables must stay inside the MsgType
+    vocabulary.
+
+    The baseline hubs (``wi``/``mesi``/``dragon``) are deliberately
+    outside the sim<->mc conformance graph — they have no model twin, so
+    the CON checks *skip* them rather than diffing them against a model
+    of a different protocol.  This is the one static guard they keep: a
+    typo'd or stale ``MsgType`` in a baseline ``_handlers`` table would
+    otherwise only surface as an AttributeError mid-sweep.
+    """
+    known = set(sim.messages)
+    if not known:
+        return
+    for proto in protocols.values():
+        for name in sorted(set(proto.handlers) - known):
+            yield Finding(
+                check_id="ARN001", severity=Severity.ERROR, side="sim",
+                fingerprint="%s:%s" % (proto.name, name),
+                message="arena protocol %r registers a handler for %s, "
+                        "which is not a declared MsgType"
+                        % (proto.name, name),
+                file="protocol/arena.py", line=proto.line)
+
+
 #: The registry, in report order.  Each entry is (callable, arg names);
 #: ``run_checks`` wires the extracted artefacts in by name.
 CHECKS = (
@@ -338,12 +369,14 @@ CHECKS = (
     (check_deadlock, ("sim",)),
     (check_reachability, ("states",)),
     (check_extraction, ("sim", "mc")),
+    (check_arena, ("sim", "protocols")),
 )
 
 
-def run_checks(sim, mc, states):
+def run_checks(sim, mc, states, protocols=None):
     """Run every registered check; return the flat finding list."""
-    artefacts = {"sim": sim, "mc": mc, "states": states}
+    artefacts = {"sim": sim, "mc": mc, "states": states,
+                 "protocols": protocols or {}}
     findings = []
     for check, args in CHECKS:
         findings.extend(check(*[artefacts[a] for a in args]))

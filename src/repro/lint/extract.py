@@ -379,6 +379,83 @@ def extract_sim(root):
     return graph
 
 
+# -- arena-protocol registry extraction ---------------------------------------
+
+
+@dataclass
+class ProtocolDecl:
+    """One arena protocol as declared in ``protocol/arena.py``."""
+
+    name: str
+    mc_twin: bool
+    line: int
+    #: The hub's own ``_handlers`` table (empty for protocols whose hub
+    #: lives outside arena.py, i.e. the adaptive default).
+    handlers: Dict[str, List[str]] = field(default_factory=dict)
+
+
+def extract_protocols(root):
+    """Extract the ``PROTOCOLS`` registry from ``protocol/arena.py``.
+
+    Pure AST, like everything else here.  ``arena.py`` is deliberately
+    *not* in :data:`SIM_PROTOCOL_FILES` — its hubs are alternative
+    protocols with no model-checker twin, so folding their handlers into
+    the sim graph would false-positive every sim<->mc conformance check.
+    This extractor gives the checks just enough structure to (a) report
+    which protocols the conformance diff covers and (b) still validate
+    the baseline handler tables against the shared MsgType vocabulary.
+    Returns ``{}`` for trees that predate the arena.
+    """
+    root = Path(root)
+    path = root / "protocol" / "arena.py"
+    if not path.exists():
+        return {}
+    tree = _parse(path)
+    tables = {}
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        handlers = {}
+        for sub in ast.walk(node):
+            if not (isinstance(sub, ast.Assign)
+                    and len(sub.targets) == 1
+                    and isinstance(sub.targets[0], ast.Attribute)
+                    and sub.targets[0].attr == "_handlers"
+                    and isinstance(sub.value, ast.Dict)):
+                continue
+            for key, value in zip(sub.value.keys, sub.value.values):
+                if (_is_enum_attr(key, "MsgType")
+                        and isinstance(value, ast.Attribute)):
+                    handlers.setdefault(key.attr, []).append(value.attr)
+        if handlers:
+            tables[node.name] = handlers
+    protocols = {}
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and node.targets[0].id == "PROTOCOLS"
+                and isinstance(node.value, ast.Dict)):
+            continue
+        for key, value in zip(node.value.keys, node.value.values):
+            if not (isinstance(key, ast.Constant)
+                    and isinstance(key.value, str)
+                    and isinstance(value, ast.Call)):
+                continue
+            mc_twin = any(
+                keyword.arg == "mc_twin"
+                and isinstance(keyword.value, ast.Constant)
+                and bool(keyword.value.value)
+                for keyword in value.keywords)
+            hub = ""
+            if len(value.args) > 1 and isinstance(value.args[1], ast.Name):
+                hub = value.args[1].id
+            protocols[key.value] = ProtocolDecl(
+                name=key.value, mc_twin=mc_twin, line=key.lineno,
+                handlers=tables.get(hub, {}))
+    return protocols
+
+
 # -- model extraction ---------------------------------------------------------
 
 _NET_ADD_FUNCS = {"_net_add", "_net_add_unique"}

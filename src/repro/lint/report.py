@@ -22,6 +22,7 @@ RULE_DESCRIPTIONS = {
     "RCH001": "State no transition ever enters",
     "RCH002": "State entered but never examined",
     "EXT001": "Statically unresolvable emission",
+    "ARN001": "Arena handler table references an unknown MsgType",
     "ALW001": "Stale allowlist entry",
 }
 
@@ -38,6 +39,17 @@ def render_text(report, verbose=False):
             % (stats.get("sim_messages", 0), stats.get("sim_handled", 0),
                stats.get("mc_messages", 0), stats.get("mc_handled", 0),
                stats.get("state_enums", 0)))
+        protocols = stats.get("protocols") or {}
+        if protocols:
+            checked = sorted(name for name, status in protocols.items()
+                             if status.startswith("conformance-checked"))
+            skipped = sorted(name for name, status in protocols.items()
+                             if not status.startswith("conformance-checked"))
+            lines.append(
+                "  sim<->mc conformance: %s checked; %s skipped "
+                "(no mc twin)"
+                % (", ".join(checked) or "none",
+                   ", ".join(skipped) or "none"))
     lines.append("")
     for finding in report.sorted_findings():
         lines.append("%s %s [%s] %s" % (finding.severity.value.upper(),

@@ -31,8 +31,8 @@ class Fabric:
         self.config = config
         self.events = events
         self.stats = stats
-        self.tracer = tracer
-        self.chaos = chaos  # None = no fault injection (the fast path)
+        self._tracer = tracer
+        self._chaos = chaos  # None = no fault injection (the fast path)
         self.topology = FatTree(config.num_nodes, config.network)
         num_nodes = config.num_nodes
         self._occupancy = config.network.hub_occupancy
@@ -64,6 +64,40 @@ class Fabric:
         if chaos is None:
             self._deliver = self._deliver_fast
 
+    # ``tracer`` and ``chaos`` are read-only after construction because the
+    # fast-path methods above are *chosen* from their construction-time
+    # values.  A late ``fabric.tracer = Tracer()`` used to be silently
+    # ignored on the fast path (the bug this guards against); now it
+    # raises so the caller learns to pass the hook to System/Fabric up
+    # front.  Re-assigning the identical object stays legal — idempotent
+    # wiring code does that.
+
+    @property
+    def tracer(self):
+        return self._tracer
+
+    @tracer.setter
+    def tracer(self, value):
+        if value is not self._tracer:
+            raise RuntimeError(
+                "fabric.tracer cannot change after construction: the "
+                "traced/untraced send path is bound at __init__; pass "
+                "tracer= to System() or Fabric() instead")
+        self._tracer = value
+
+    @property
+    def chaos(self):
+        return self._chaos
+
+    @chaos.setter
+    def chaos(self, value):
+        if value is not self._chaos:
+            raise RuntimeError(
+                "fabric.chaos cannot change after construction: the "
+                "chaos-free delivery path is bound at __init__; pass "
+                "chaos= to System() or Fabric() instead")
+        self._chaos = value
+
     def attach(self, node, handler, table=None):
         """Register the message handler (hub) for ``node``.
 
@@ -93,8 +127,8 @@ class Fabric:
         dst = msg.dst
         remote = src != dst
         events = self.events
-        if self.tracer is not None:
-            self.tracer.msg_send(msg, events.now, remote)
+        if self._tracer is not None:
+            self._tracer.msg_send(msg, events.now, remote)
         if remote:
             index = msg.mtype.index
             counters = self._counters
@@ -104,7 +138,7 @@ class Fabric:
         if row is None:
             row = self._latency_row(src)
         arrival = events._now + row[dst]
-        chaos = self.chaos if remote else None
+        chaos = self._chaos if remote else None
         if chaos is not None:
             arrival = chaos.arrival(msg, arrival)
         busy = self._busy_until
@@ -177,8 +211,8 @@ class Fabric:
             if handler is None:
                 raise RuntimeError("no handler attached for node %d" % dst)
         self.delivered += 1
-        if self.chaos is not None and msg.src != dst:
-            nack = self.chaos.forced_nack(msg)
+        if self._chaos is not None and msg.src != dst:
+            nack = self._chaos.forced_nack(msg)
             if nack is not None:
                 self.send(nack)
                 return
@@ -189,11 +223,12 @@ class Fabric:
         # the message is quiescent.  An exception skips release entirely.
         before = getrefcount(msg)
         handler(msg)
-        if getrefcount(msg) == before:
+        if getrefcount(msg) == before and not msg._pooled:
             # Inlined Message.release() — one frame per delivered message.
             msg.payload = EMPTY_PAYLOAD
             pool = Message._pool
             if len(pool) < Message._pool_limit:
+                msg._pooled = True
                 pool.append(msg)
 
     def _deliver_fast(self, msg):
@@ -214,8 +249,9 @@ class Fabric:
         self.delivered += 1
         before = getrefcount(msg)
         handler(msg)
-        if getrefcount(msg) == before:
+        if getrefcount(msg) == before and not msg._pooled:
             msg.payload = EMPTY_PAYLOAD
             pool = Message._pool
             if len(pool) < Message._pool_limit:
+                msg._pooled = True
                 pool.append(msg)

@@ -121,7 +121,8 @@ class Message:
     invisible to protocol code and to determinism.
     """
 
-    __slots__ = ("mtype", "src", "dst", "addr", "value", "payload", "msg_id")
+    __slots__ = ("mtype", "src", "dst", "addr", "value", "payload", "msg_id",
+                 "_pooled")
 
     _pool = []
     _pool_limit = 4096
@@ -142,25 +143,58 @@ class Message:
         self.value = value
         self.payload = payload
         self.msg_id = next(_msg_ids) if msg_id is None else msg_id
+        self._pooled = False
         return self
 
     def release(self):
         """Return this message to the free list.
 
-        Only the fabric calls this, at its delivery quiescence point, and
-        only after proving via refcount that no handler retained the
-        message.  The payload is dropped first so pooled instances never
-        pin protocol dicts alive.
+        Callers must prove (via refcount at the dispatch quiescence point)
+        that no handler retained the message.  The payload is dropped
+        first so pooled instances never pin protocol dicts alive.  A
+        double release would alias one object under two in-flight
+        messages — the classic pool-lifecycle corruption — so it raises
+        instead of corrupting silently.
         """
+        if self._pooled:
+            raise ValueError("double release of %r" % self)
         self.payload = EMPTY_PAYLOAD
         pool = Message._pool
         if len(pool) < Message._pool_limit:
+            self._pooled = True
             pool.append(self)
 
     @classmethod
     def pool_stats(cls):
         """Free-list statistics: ``{"free", "allocations"}``."""
         return {"free": len(cls._pool), "allocations": cls.pool_allocations}
+
+    @classmethod
+    def pool_audit(cls):
+        """Invariant check over the free list; returns a list of problems.
+
+        Clean pools return ``[]``.  Checked: the list never exceeds its
+        limit, no instance appears twice (aliasing), every pooled instance
+        is flagged ``_pooled`` and has dropped its payload.  The fuzz
+        oracles run this after every case so a lifecycle regression
+        (handler exception paths, redispatched messages) fails loudly.
+        """
+        problems = []
+        pool = cls._pool
+        if len(pool) > cls._pool_limit:
+            problems.append("free list over limit: %d > %d"
+                            % (len(pool), cls._pool_limit))
+        if len({id(msg) for msg in pool}) != len(pool):
+            problems.append("aliased instance on the free list")
+        for msg in pool:
+            if not msg._pooled:
+                problems.append("pooled message %r not flagged _pooled" % msg)
+                break
+        for msg in pool:
+            if msg.payload is not EMPTY_PAYLOAD:
+                problems.append("pooled message %r retains a payload" % msg)
+                break
+        return problems
 
     @classmethod
     def clear_pool(cls):

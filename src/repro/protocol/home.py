@@ -276,7 +276,7 @@ class HomeMixin:
         entry.state = DirState.UNOWNED
         entry.owner = None
         entry.sharers = set()
-        self.dispatch(pending)
+        self._redispatch(pending)
 
     # -- delegation (home side) --------------------------------------------------
 
@@ -330,7 +330,7 @@ class HomeMixin:
             det.write_repeat = 0
             det.reader_count = 0
         if pending is not None and pending.kind is BusyKind.UNDELEGATE:
-            self.dispatch(pending.req_msg)
+            self._redispatch(pending.req_msg)
 
     def _home_recall_nacked(self, msg):
         """The producer NACKed our UNDELE_REQ."""

@@ -24,7 +24,7 @@ from ..directory.placement import AddressMap
 from ..network.chaos import ChaosPolicy
 from ..network.fabric import Fabric
 from ..network.message import reset_msg_ids
-from ..protocol.hub import Hub
+from ..protocol.arena import resolve_protocol
 from .barrier import BarrierManager
 from .coherence_check import CoherenceChecker
 from .processor import Processor
@@ -50,6 +50,12 @@ class System:
 
     def __init__(self, config, check_coherence=True, tracer=None, chaos=None):
         reset_msg_ids()
+        # The protocol registry maps config.protocol_name to a hub class
+        # and may normalise the config onto the protocol's feature set
+        # (identity for the default "adaptive", so existing configs are
+        # untouched byte-for-byte).
+        self.protocol = resolve_protocol(config.protocol_name)
+        config = self.protocol.normalize_config(config)
         self.config = config
         self.events = EventQueue()
         self.stats = Stats()
@@ -61,7 +67,8 @@ class System:
         self.fabric = Fabric(config, self.events, self.stats, tracer=tracer,
                              chaos=self.chaos)
         self.checker = CoherenceChecker(self) if check_coherence else None
-        self.hubs = [Hub(node, self) for node in range(config.num_nodes)]
+        self.hubs = [self.protocol.make_hub(node, self)
+                     for node in range(config.num_nodes)]
         self.processors = []
         self.barrier = None
         self._unfinished = 0
