@@ -31,6 +31,10 @@ Commands
     Statically analyze the protocol sources: handler coverage,
     sim <-> model-checker conformance, deadlock heuristics, state
     reachability (see docs/static_analysis.md).
+``spec``
+    Check the guarded-action protocol specs: the SPC spec analyses plus
+    the spec <-> sim/mc conformance diff; ``--render``/``--diff`` print
+    a spec or its structured justifications (see docs/spec.md).
 ``fuzz``
     Randomized protocol stress fuzzing with network fault injection:
     run a seed corpus through oracle-checked simulations, shrink any
@@ -147,6 +151,11 @@ def build_parser():
     exp_p.add_argument("--seed", type=int, default=12345)
 
     verify_p = sub.add_parser("verify", help="model-check the protocol")
+    verify_p.add_argument("--protocol", choices=("adaptive", "mesi"),
+                          default="adaptive",
+                          help="adaptive checks the hand-written model; "
+                               "mesi checks the model generated from its "
+                               "guarded-action spec (default: adaptive)")
     verify_p.add_argument("--nodes", type=int, default=3)
     verify_p.add_argument("--no-delegation", action="store_true")
     verify_p.add_argument("--no-updates", action="store_true")
@@ -266,6 +275,29 @@ def build_parser():
     lint_p.add_argument("--verbose", action="store_true",
                         help="also list allowlisted findings")
 
+    spec_p = sub.add_parser(
+        "spec", help="check the guarded-action protocol specs")
+    spec_p.add_argument("--protocol", default="all",
+                        choices=("all", "adaptive", "wi", "mesi", "dragon"),
+                        help="restrict to one protocol (default: all)")
+    spec_p.add_argument("--root", default=None, metavar="DIR",
+                        help="repro package directory to analyze "
+                             "(default: this installation's sources)")
+    spec_p.add_argument("--check", action="store_true",
+                        help="run the SPC + conformance checks (the "
+                             "default mode; flag kept for explicitness "
+                             "in CI invocations)")
+    spec_p.add_argument("--render", action="store_true",
+                        help="print the spec (messages + transitions) "
+                             "instead of checking it")
+    spec_p.add_argument("--diff", action="store_true",
+                        help="print the structured sim/mc justifications "
+                             "(only/hoist/replay/note annotations)")
+    spec_p.add_argument("--json", dest="json_out", action="store_true",
+                        help="emit the machine-readable JSON report")
+    spec_p.add_argument("--sarif", metavar="OUT.sarif", default=None,
+                        help="also write a SARIF 2.1.0 report to OUT.sarif")
+
     fuzz_p = sub.add_parser(
         "fuzz", help="randomized protocol stress fuzzing (fault injection)")
     fuzz_p.add_argument("--seeds", type=int, default=25, metavar="N",
@@ -363,14 +395,22 @@ def cmd_experiment(args):
 
 
 def cmd_verify(args):
-    model = ProtocolModel(
-        num_nodes=args.nodes,
-        writers=(1,),
-        readers=tuple(range(2, args.nodes)),
-        enable_delegation=not args.no_delegation,
-        enable_updates=not (args.no_updates or args.no_delegation),
-        ordered_channels=not args.unordered,
-    )
+    if args.protocol == "mesi":
+        from .spec import get_spec
+        from .spec.mcgen import SpecModel
+        model = SpecModel(
+            get_spec("mesi"), num_nodes=args.nodes, writers=(1,),
+            readers=tuple(range(2, args.nodes)),
+            ordered_channels=not args.unordered)
+    else:
+        model = ProtocolModel(
+            num_nodes=args.nodes,
+            writers=(1,),
+            readers=tuple(range(2, args.nodes)),
+            enable_delegation=not args.no_delegation,
+            enable_updates=not (args.no_updates or args.no_delegation),
+            ordered_channels=not args.unordered,
+        )
     checker = ModelChecker(model.initial_states(), model.rules(),
                            ALL_INVARIANTS, quiescent=model.quiescent,
                            max_states=args.max_states, track_traces=False,
@@ -668,6 +708,122 @@ def cmd_lint(args):
     return report.exit_code(fail_on=Severity(args.fail_on))
 
 
+def _render_spec(spec):
+    lines = ["spec %s (%s)" % (spec.name, spec.description),
+             "  mc model: %s" % (spec.mc_model or "none"),
+             "  dir states: %s   cache states: %s"
+             % ("/".join(spec.dir_states), "/".join(spec.cache_states)),
+             "  messages (%d):" % len(spec.messages)]
+    for msg in spec.messages:
+        extra = []
+        if msg.mc:
+            extra.append("mc=%s" % "/".join(msg.mc))
+        else:
+            extra.append("unmodeled: %s" % (msg.note or "?"))
+        if msg.data:
+            extra.append("data")
+        if msg.reply_to:
+            extra.append("reply_to=%s" % "/".join(msg.reply_to))
+        lines.append("    %-14s %-8s %s" % (msg.name, msg.role,
+                                            "  ".join(extra)))
+    lines.append("  transitions (%d):" % len(spec.transitions))
+    for t in spec.transitions:
+        guard = " & ".join("%s in {%s}" % (var, ",".join(vals))
+                           for var, vals in t.when) or "true"
+        emit = " emit " + "+".join(t.emit) if t.emit else ""
+        goes = (" goes " + ",".join("%s=%s" % g for g in t.goes)
+                if t.goes else "")
+        lines.append("    [%s] %s: on %s if %s%s%s"
+                     % (t.actor, t.label, t.on, guard, emit, goes))
+    return "\n".join(lines)
+
+
+def _render_spec_diff(spec):
+    lines = ["spec %s — structured conformance justifications:" % spec.name]
+    for msg in spec.messages:
+        if not msg.mc:
+            lines.append("  unmodeled message %s: %s"
+                         % (msg.name, msg.note or "(no note)"))
+    for t in spec.transitions:
+        if t.only:
+            lines.append("  %s: only=%r — %s"
+                         % (t.label, t.only, t.why or "(no why)"))
+        if t.hoist:
+            lines.append("  %s: hoisted into model rule %s — %s"
+                         % (t.label, t.hoist, t.why or "(no why)"))
+        if t.replay:
+            lines.append("  %s: sim replays via %s — %s"
+                         % (t.label, t.replay, t.why or "(no why)"))
+    if spec.stripped:
+        lines.append("  stripped (handled by the full protocol only): %s"
+                     % ", ".join(spec.stripped))
+    return "\n".join(lines)
+
+
+def cmd_spec(args):
+    from .lint import (LintReport, Severity, render_json, render_sarif,
+                       render_text)
+    from .lint.extract import extract_mc, extract_protocols, extract_sim
+    from .spec import load_spec_tree
+    from .spec.analyze import run_spec_checks
+    from .spec.conformance import run_conformance
+
+    root = args.root
+    if root is None:
+        from .lint import default_root
+        root = default_root()
+    specs = load_spec_tree(root)
+    if not specs:
+        print("no spec/protocols/ directory under %s" % root)
+        return 2
+    wanted = sorted(specs) if args.protocol == "all" else [args.protocol]
+    missing = [name for name in wanted if name not in specs]
+    if missing:
+        print("no spec for: %s (have: %s)"
+              % (", ".join(missing), ", ".join(sorted(specs))))
+        return 2
+
+    if args.render or args.diff:
+        renderer = _render_spec if args.render else _render_spec_diff
+        print("\n\n".join(renderer(specs[name]) for name in wanted))
+        return 0
+
+    findings = []
+    for name in wanted:
+        findings.extend(run_spec_checks(specs[name]))
+    sim = extract_sim(root)
+    mc = extract_mc(root)
+    protocols = extract_protocols(root)
+    findings.extend(run_conformance(
+        {name: specs[name] for name in wanted}, sim, mc, protocols))
+    report = LintReport(
+        findings=findings, allowlisted=[], stale_allowlist=[],
+        root=str(root), allowlist_path=None,
+        stats={
+            "sim_messages": len(sim.messages),
+            "sim_handled": len(sim.handlers),
+            "sim_funcs": len(sim.funcs),
+            "mc_messages": len(mc.messages),
+            "mc_handled": len(mc.handlers),
+            "conformance": {"source": "spec", "specs": wanted},
+            "specs": {name: {
+                "messages": len(specs[name].messages),
+                "transitions": len(specs[name].transitions),
+                "mc_model": specs[name].mc_model,
+            } for name in wanted},
+        })
+    if args.json_out:
+        print(render_json(report))
+    else:
+        print(render_text(report, title="repro spec"))
+    if args.sarif:
+        with open(args.sarif, "w") as fileobj:
+            fileobj.write(render_sarif(report))
+        if not args.json_out:
+            print("wrote %s" % args.sarif)
+    return report.exit_code(fail_on=Severity("error"))
+
+
 def cmd_fuzz(args):
     from .fuzz import FUZZ_DIR, FuzzEngine, replay_artifact
 
@@ -776,6 +932,7 @@ COMMANDS = {
     "sweep": cmd_sweep,
     "profile": cmd_profile,
     "lint": cmd_lint,
+    "spec": cmd_spec,
     "fuzz": cmd_fuzz,
     "serve": cmd_serve,
 }

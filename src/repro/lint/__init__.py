@@ -11,6 +11,7 @@ Entry point: :func:`run_lint` (also exposed as ``repro lint`` on the CLI).
 
 from pathlib import Path
 
+from ..spec.registry import load_spec_tree
 from .checks import run_checks
 from .extract import (extract_mc, extract_protocols, extract_sim,
                       extract_state_usage)
@@ -48,7 +49,8 @@ def run_lint(root=None, allowlist_path=None, use_allowlist=True):
     mc = extract_mc(root)
     states = extract_state_usage(root)
     protocols = extract_protocols(root)
-    findings = run_checks(sim, mc, states, protocols)
+    specs = load_spec_tree(root)
+    findings = run_checks(sim, mc, states, protocols, specs)
 
     allowlist = None
     if use_allowlist:
@@ -85,12 +87,28 @@ def run_lint(root=None, allowlist_path=None, use_allowlist=True):
             "mc_messages": len(mc.messages),
             "mc_handled": len(mc.handlers),
             "state_enums": len(states),
-            # Which arena protocols the sim<->mc conformance diff covers:
-            # the CON checks model only protocols with an mc twin, and
-            # *skip* (rather than false-positive) the rest.
+            # Which arena protocols the conformance machinery covers and
+            # how: an mc twin gets the full CON diff (hand-written for
+            # adaptive, spec-generated for mesi); spec-only protocols get
+            # the SPC analyses; a legacy tree with no specs is skipped.
             "protocols": {
-                name: ("conformance-checked (mc twin)" if decl.mc_twin
-                       else "conformance-skipped (no mc twin)")
+                name: _protocol_status(decl.mc_twin, name in specs)
                 for name, decl in protocols.items()
             },
+            # Whether the CON diff ran against the guarded-action specs
+            # or fell back to the legacy name-map heuristic.
+            "conformance": {
+                "source": "spec" if specs else "heuristic",
+                "specs": sorted(specs),
+            },
         })
+
+
+def _protocol_status(mc_twin, has_spec):
+    if mc_twin == "spec":
+        return "conformance-checked (generated mc twin)"
+    if mc_twin:
+        return "conformance-checked (mc twin)"
+    if has_spec:
+        return "spec-checked (no mc twin)"
+    return "conformance-skipped (no mc twin)"

@@ -11,9 +11,15 @@ COV003     error      a declared sim MsgType has no handler entry
 CON001     error      sim message with no model counterpart (unmapped,
                       unmodeled, or counterpart unhandled)
 CON002     error      model token with no sim counterpart
-CON003     warning    sim transition (handled msg -> emitted msg) with no
-                      matching model transition
-CON004     warning    model transition with no matching sim transition
+CON003     warning    sim transition (handled msg -> emitted msg) the
+                      spec (or, on legacy trees, the model) doesn't allow
+CON004     warning    model transition the spec (or the sim) doesn't allow
+CON005     error      spec-required sim transition absent from the sim
+                      (spec-driven trees only)
+CON006     error      spec-required model transition absent from the
+                      model (spec-driven trees only)
+SPC001-7   mixed      spec-level analyses (see repro.spec.analyze and
+                      repro.spec.conformance) — spec-driven trees only
 DLK001     warning    message-dependency cycle not broken by a NACK
 DLK002     warning    NACK handler re-emits a request with no retry bound
 RCH001     error      state no transition ever enters
@@ -96,7 +102,28 @@ def check_coverage(sim, mc):
 # -- CON: sim <-> mc conformance ----------------------------------------------
 
 
-def check_conformance(sim, mc):
+def check_conformance(sim, mc, protocols=None, specs=None):
+    """Sim ↔ model conformance, spec-driven when the tree has specs.
+
+    A tree with ``spec/protocols/`` modules gets the full spec-driven
+    diff (CON001-CON006 plus the SPC family) from :mod:`repro.spec`:
+    both graphs are compared against the spec's transition relation, and
+    the structured in-spec annotations (``only``/``hoist``/``replay``/
+    ``note``) justify the intentional gaps that used to live in the
+    allowlist.  A legacy tree without specs falls back to the name-map
+    heuristic diff (CON001-CON004) below.
+    """
+    if specs:
+        from ..spec.analyze import run_spec_checks
+        from ..spec.conformance import run_conformance
+        for name in sorted(specs):
+            yield from run_spec_checks(specs[name])
+        yield from run_conformance(specs, sim, mc, protocols)
+    else:
+        yield from _check_conformance_heuristic(sim, mc)
+
+
+def _check_conformance_heuristic(sim, mc):
     """CON001/CON002 (vocabulary) and CON003/CON004 (transitions)."""
     # CON001: every sim message needs a live model counterpart.
     for name in sorted(sim.messages):
@@ -365,7 +392,7 @@ def check_arena(sim, protocols):
 #: ``run_checks`` wires the extracted artefacts in by name.
 CHECKS = (
     (check_coverage, ("sim", "mc")),
-    (check_conformance, ("sim", "mc")),
+    (check_conformance, ("sim", "mc", "protocols", "specs")),
     (check_deadlock, ("sim",)),
     (check_reachability, ("states",)),
     (check_extraction, ("sim", "mc")),
@@ -373,10 +400,10 @@ CHECKS = (
 )
 
 
-def run_checks(sim, mc, states, protocols=None):
+def run_checks(sim, mc, states, protocols=None, specs=None):
     """Run every registered check; return the flat finding list."""
     artefacts = {"sim": sim, "mc": mc, "states": states,
-                 "protocols": protocols or {}}
+                 "protocols": protocols or {}, "specs": specs or {}}
     findings = []
     for check, args in CHECKS:
         findings.extend(check(*[artefacts[a] for a in args]))

@@ -2,27 +2,35 @@
 
 The simulator (``repro.network.message.MsgType``) and the abstract model
 (``repro.mc.model``'s string tokens) are two independent encodings of the
-same protocol; they deliberately use different names.  This module is the
-single place that records the correspondence, so the conformance checks
-can diff the two transition systems.
+same protocol; they deliberately use different names.  The correspondence
+used to live here as a hand-maintained dict; it is now *derived from the
+adaptive protocol spec* (:mod:`repro.spec.protocols.adaptive`), where
+each ``Msg`` declares its model tokens — so the map, the conformance
+diff, and the spec analyses all read one source of truth.
 
 Each simulator message maps to a *tuple* of model tokens:
 
 * most map 1:1 under renaming (``SHARED_WB`` ↔ ``SH_WB``);
-* ``NACK`` fans out — the model splits the simulator's payload-discriminated
-  NACK (``{"for": "miss" | "intervention" | "recall"}``) into three tokens
-  (``NACK``, ``NACKI``, ``NACKR``);
-* an *empty* tuple documents in code that the message has no model
-  counterpart at all — the finding it produces must still be justified in
-  the allowlist file, which is the reviewed record of intentional gaps.
+* ``NACK`` fans out — the model splits the simulator's
+  payload-discriminated NACK (``{"for": "miss" | "intervention" |
+  "recall"}``) into three tokens (``NACK``, ``NACKI``, ``NACKR``);
+* an *empty* tuple documents that the message has no model counterpart
+  at all; the spec's ``Msg.note`` carries the reviewed justification
+  (``WB_ACK`` — the model applies writebacks atomically).
 
-A simulator message *absent* from this map is an error (CON001): adding a
-message without deciding its model status is exactly the drift this check
-exists to catch.
+A simulator message *absent* from this map is an error (CON001): adding
+a message without deciding its model status is exactly the drift this
+check exists to catch.
+
+This module keeps a module-level fallback copy of the map so legacy
+trees (no ``spec/`` directory) still lint; when the installed adaptive
+spec is importable, the derived map replaces it at first use.
 """
 
-#: sim MsgType name -> tuple of mc tokens it corresponds to.
-SIM_TO_MC = {
+from typing import Dict, Optional, Tuple
+
+#: Fallback map for environments where the spec package is unavailable.
+_FALLBACK_SIM_TO_MC: Dict[str, Tuple[str, ...]] = {
     "GETS": ("GETS",),
     "GETX": ("GETX",),
     "DATA_SHARED": ("DATA_S",),
@@ -48,18 +56,42 @@ SIM_TO_MC = {
     "UPDATE_ACK": ("UPDATE_ACK",),
 }
 
-#: mc token -> sim MsgType name (derived; many-to-one for the NACK family).
-MC_TO_SIM = {}
-for _sim, _tokens in SIM_TO_MC.items():
-    for _token in _tokens:
-        MC_TO_SIM[_token] = _sim
+_sim_to_mc: Optional[Dict[str, Tuple[str, ...]]] = None
+_mc_to_sim: Optional[Dict[str, str]] = None
 
 
-def mc_counterparts(sim_name):
+def _load() -> None:
+    global _sim_to_mc, _mc_to_sim
+    if _sim_to_mc is not None:
+        return
+    try:
+        from ..spec.registry import get_spec
+        spec = get_spec("adaptive")
+        _sim_to_mc = {msg.name: msg.mc for msg in spec.messages}
+    except Exception:  # pragma: no cover - spec package always ships
+        _sim_to_mc = dict(_FALLBACK_SIM_TO_MC)
+    _mc_to_sim = {}
+    for sim, tokens in _sim_to_mc.items():
+        for token in tokens:
+            _mc_to_sim[token] = sim
+
+
+def sim_to_mc_map() -> Dict[str, Tuple[str, ...]]:
+    """The full sim-name → mc-token map (spec-derived)."""
+    _load()
+    assert _sim_to_mc is not None
+    return dict(_sim_to_mc)
+
+
+def mc_counterparts(sim_name: str) -> Optional[Tuple[str, ...]]:
     """Model tokens for a sim message; None if the map doesn't know it."""
-    return SIM_TO_MC.get(sim_name)
+    _load()
+    assert _sim_to_mc is not None
+    return _sim_to_mc.get(sim_name)
 
 
-def sim_counterpart(mc_token):
+def sim_counterpart(mc_token: str) -> Optional[str]:
     """Sim message for a model token; None if the map doesn't know it."""
-    return MC_TO_SIM.get(mc_token)
+    _load()
+    assert _mc_to_sim is not None
+    return _mc_to_sim.get(mc_token)

@@ -29,7 +29,7 @@ consumed).
 import ast
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 #: Message-name aliases handled per registered message in the simulator.
 SIM_PROTOCOL_FILES = ("hub.py", "home.py", "producer.py", "requester.py",
@@ -387,7 +387,9 @@ class ProtocolDecl:
     """One arena protocol as declared in ``protocol/arena.py``."""
 
     name: str
-    mc_twin: bool
+    #: ``True`` (hand-written model twin), ``"spec"`` (twin generated
+    #: from the guarded-action spec), or ``False`` (no twin).
+    mc_twin: Union[bool, str]
     line: int
     #: The hub's own ``_handlers`` table (empty for protocols whose hub
     #: lives outside arena.py, i.e. the adaptive default).
@@ -442,11 +444,15 @@ def extract_protocols(root):
                     and isinstance(key.value, str)
                     and isinstance(value, ast.Call)):
                 continue
-            mc_twin = any(
-                keyword.arg == "mc_twin"
-                and isinstance(keyword.value, ast.Constant)
-                and bool(keyword.value.value)
-                for keyword in value.keywords)
+            # Keep the declared *value*: True means the hand-written
+            # model twin, "spec" means a twin generated from the
+            # protocol's guarded-action spec.
+            mc_twin = False
+            for keyword in value.keywords:
+                if (keyword.arg == "mc_twin"
+                        and isinstance(keyword.value, ast.Constant)
+                        and keyword.value.value):
+                    mc_twin = keyword.value.value
             hub = ""
             if len(value.args) > 1 and isinstance(value.args[1], ast.Name):
                 hub = value.args[1].id

@@ -15,8 +15,17 @@ RULE_DESCRIPTIONS = {
     "COV003": "MsgType missing from the hub dispatch table",
     "CON001": "Sim message with no live model-checker counterpart",
     "CON002": "Model token with no sim counterpart",
-    "CON003": "Sim transition absent from the model checker",
-    "CON004": "Model transition absent from the simulator",
+    "CON003": "Sim transition the spec (or model) does not allow",
+    "CON004": "Model transition the spec (or sim) does not allow",
+    "CON005": "Spec-required sim transition absent from the simulator",
+    "CON006": "Spec-required model transition absent from the model",
+    "SPC001": "Overlapping guards in one spec trigger group",
+    "SPC002": "Non-exhaustive guards in one spec trigger group",
+    "SPC003": "Declared spec state never installed",
+    "SPC004": "Spec message never emitted or never handled",
+    "SPC005": "Spec emission cycle with no NACK-family hop",
+    "SPC006": "Unpaired request or reply to a non-request in the spec",
+    "SPC007": "Dispatch table out of sync with the protocol spec",
     "DLK001": "Message-dependency cycle not broken by a NACK",
     "DLK002": "NACK retry path with no bounding counter",
     "RCH001": "State no transition ever enters",
@@ -27,11 +36,11 @@ RULE_DESCRIPTIONS = {
 }
 
 
-def render_text(report, verbose=False):
+def render_text(report, verbose=False, title="repro lint"):
     """The default human-readable rendering."""
     lines = []
     stats = report.stats
-    lines.append("repro lint: %s" % (report.root or "<tree>"))
+    lines.append("%s: %s" % (title, report.root or "<tree>"))
     if stats:
         lines.append(
             "  graph: %d sim messages / %d handled, %d mc tokens / %d "
@@ -41,15 +50,20 @@ def render_text(report, verbose=False):
                stats.get("state_enums", 0)))
         protocols = stats.get("protocols") or {}
         if protocols:
-            checked = sorted(name for name, status in protocols.items()
-                             if status.startswith("conformance-checked"))
-            skipped = sorted(name for name, status in protocols.items()
-                             if not status.startswith("conformance-checked"))
-            lines.append(
-                "  sim<->mc conformance: %s checked; %s skipped "
-                "(no mc twin)"
-                % (", ".join(checked) or "none",
-                   ", ".join(skipped) or "none"))
+            for name in sorted(protocols):
+                lines.append("  %s: %s" % (name, protocols[name]))
+        conformance = stats.get("conformance") or {}
+        if conformance:
+            source = conformance.get("source", "heuristic")
+            if source == "spec":
+                lines.append(
+                    "  conformance source: guarded-action specs (%s) — "
+                    "gaps justified in-spec, not in the allowlist"
+                    % ", ".join(conformance.get("specs", ())))
+            else:
+                lines.append(
+                    "  conformance source: name-map heuristic (no "
+                    "spec/protocols/ in this tree)")
     lines.append("")
     for finding in report.sorted_findings():
         lines.append("%s %s [%s] %s" % (finding.severity.value.upper(),

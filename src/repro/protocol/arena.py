@@ -55,8 +55,11 @@ class Protocol:
     feature set the protocol actually implements (e.g. ``wi`` strips
     delegation); the identity for ``adaptive``, so default configs are
     byte-for-byte untouched.  ``make_hub`` builds the per-node controller.
-    ``mc_twin`` marks protocols modelled by ``mc/model.py`` — lint's
-    sim<->mc conformance checks only apply to those.
+    ``mc_twin`` marks protocols with a model-checker twin: ``True`` for
+    the hand-written model in ``mc/model.py``, ``"spec"`` for a twin
+    compiled from the protocol's guarded-action spec by
+    ``repro.spec.mcgen`` — lint's sim<->mc conformance checks and
+    ``repro verify`` only apply to those.
     """
 
     def __init__(self, name, hub_class, description, mc_twin=False,
@@ -423,7 +426,7 @@ PROTOCOLS = {
     "mesi": Protocol(
         "mesi", MesiHub,
         "textbook directory MESI (no RAC, no preserved sharing vector)",
-        normalize=_normalize_mesi),
+        mc_twin="spec", normalize=_normalize_mesi),
     "dragon": Protocol(
         "dragon", DragonHub,
         "Dragon-style update protocol (unconditional ack-gated publish)",

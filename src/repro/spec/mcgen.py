@@ -1,0 +1,638 @@
+"""Compile a ``mc_model="generated"`` spec into an executable model.
+
+:class:`SpecModel` gives the MESI arena baseline a model-checker twin
+*generated from its spec* instead of hand-written: the spec's guarded
+transitions become the message dispatch, and each transition's ``effect``
+names a kernel primitive in :data:`EFFECTS` (ported from
+:class:`repro.mc.model.ProtocolModel` with the MESI semantic deltas —
+silent Shared evictions, forgotten readers on exclusivity grants, no
+delegation/update machinery).
+
+The spec is load-bearing at runtime, in three ways:
+
+* **dispatch** — a delivered message executes exactly the one transition
+  whose guard admits the concrete state; zero or several matches raise
+  :class:`SpecExecutionError` (the SPC001/SPC002 analyses prove this
+  cannot happen for a clean spec, and the model enforces it anyway);
+* **reachability** — an ``unreachable``-tagged transition that fires
+  raises (the spec's "cannot happen" claims become runtime assertions);
+* **emissions** — every message the kernel sends is checked against the
+  executing transition's declared ``emit`` set, so the spec's transition
+  relation and the explored behaviour cannot drift apart.
+
+State layout, network and value canonicalisation are shared with the
+hand model (same 8-tuple, ``racs``/``deleg``/``hints`` permanently
+empty), so :data:`repro.mc.invariants.ALL_INVARIANTS` apply unchanged.
+"""
+
+from typing import Any, Callable, Dict, Iterator, List, Tuple
+
+from ..common.errors import ReproError
+from ..mc.model import (HOME, ProtocolModel, _net_add, _net_pop_msg,
+                        _tup_set, initial_state)
+from .lang import ProtocolSpec, T, guard_allows
+
+#: One model state (the hand model's 8-tuple) and one network message.
+State = Tuple[Any, ...]
+McMsg = Tuple[Any, ...]
+
+
+class SpecExecutionError(ReproError):
+    """The generated model diverged from its spec at runtime."""
+
+
+class SpecModel:
+    """Executable model compiled from a guarded-action protocol spec."""
+
+    def __init__(self, spec: ProtocolSpec, num_nodes: int = 3,
+                 writers: Tuple[int, ...] = (1,),
+                 readers: Tuple[int, ...] = (2,),
+                 allow_evictions: bool = True,
+                 ordered_channels: bool = True) -> None:
+        if spec.mc_model != "generated":
+            raise SpecExecutionError(
+                "spec %r has mc_model=%r; only 'generated' specs compile"
+                % (spec.name, spec.mc_model))
+        spec.validate()
+        self.spec = spec
+        self.num_nodes = num_nodes
+        self.writers = tuple(writers)
+        self.readers = tuple(readers)
+        self.allow_evictions = allow_evictions
+        self.ordered_channels = ordered_channels
+        # The hand model supplies value freshness, canonicalisation and
+        # quiescence — state layout is shared, so they apply verbatim.
+        self._base = ProtocolModel(
+            num_nodes=num_nodes, writers=writers, readers=readers,
+            enable_delegation=False, enable_updates=False,
+            allow_evictions=allow_evictions,
+            ordered_channels=ordered_channels)
+        self._dispatch = self._build_dispatch()
+        self._entries = {t.mc_rule: t for t in spec.entry_transitions()}
+        for rule in ("rule_cpu_read", "rule_cpu_write", "rule_evict"):
+            if rule not in self._entries:
+                raise SpecExecutionError(
+                    "spec %r declares no entry transition for %s"
+                    % (spec.name, rule))
+
+    def _build_dispatch(self) -> Dict[str, List[T]]:
+        """``{mc token: candidate transitions}`` from the spec.
+
+        Hoisted edges are realised by entry rules, ``only="sim"`` edges
+        have no model counterpart, and ``also``-tagged accompaniments
+        are not competing outcomes — none of them dispatch.
+        ``unreachable``-tagged transitions *are* kept: them matching is
+        the runtime violation this model exists to detect.
+        """
+        dispatch: Dict[str, List[T]] = {}
+        for msg in self.spec.messages:
+            group = [t for t in self.spec.handler_transitions(msg.name)
+                     if not (t.hoist or t.only == "sim"
+                             or t.has_tag("also"))]
+            for token in msg.mc:
+                dispatch[token] = [t for t in group
+                                   if not t.via or t.via == token]
+        return dispatch
+
+    # -- engine interface --------------------------------------------------
+
+    def initial_states(self) -> List[State]:
+        return [initial_state(self.num_nodes)]
+
+    def rules(self) -> List[Callable[[State], Any]]:
+        rules: List[Callable[[State], Any]] = [
+            self.rule_cpu_read, self.rule_cpu_write, self.rule_deliver]
+        if self.allow_evictions:
+            rules.append(self.rule_evict)
+        return rules
+
+    def quiescent(self, state: State) -> bool:
+        return self._base.quiescent(state)
+
+    def canonical(self, state: State) -> State:
+        return self._base.canonical(state)
+
+    # -- spec-checked emission ---------------------------------------------
+
+    def _send(self, t: T, net: Any, *msgs: McMsg) -> Any:
+        """``_net_add`` that asserts each message against ``t.emit``."""
+        for msg in msgs:
+            name = self.spec.sim_name_of(msg[0])
+            if name is None or name not in t.emit:
+                raise SpecExecutionError(
+                    "transition %r emitted %s, outside its declared emit "
+                    "set %s" % (t.label, msg[0], list(t.emit)))
+        return _net_add(net, *msgs)
+
+    # -- guard environment -------------------------------------------------
+
+    def _env(self, state: State, msg: McMsg) -> Dict[str, str]:
+        """Bind every guard variable the spec's domains declare."""
+        token, src, dst, payload = msg[0], msg[1], msg[2], msg[3]
+        caches, cpus, home = state[1], state[3], state[4]
+        hstate, sharers, owner, _memval, busy = home
+        cpu = cpus[dst]
+        env = {
+            "busy": "none" if busy is None else busy[0],
+            "dir": hstate,
+            "cache": caches[dst][0],
+            "cpu": "idle" if cpu is None else cpu[0],
+            "raced": "yes" if (cpu is not None and cpu[0] == "R"
+                              and cpu[1]) else "no",
+        }
+        if token in ("GETS", "GETX"):
+            requester = payload[0]
+            env["owner_is_requester"] = ("yes" if owner == requester
+                                         else "no")
+            if token == "GETX":
+                env["upgrade"] = ("yes" if requester in sharers
+                                  and payload[1] else "no")
+        if token in ("WB", "EVC", "SH_WB", "XFER"):
+            env["owner_is_src"] = "yes" if owner == src else "no"
+        if token == "NACKI":
+            env["ireason"] = payload[0]
+            env["wb_flag"] = ("yes" if busy is not None
+                              and busy[0] in ("int_s", "int_x")
+                              and busy[2] else "no")
+        if token == "INT":
+            env["mode"] = payload[0]
+        return env
+
+    # -- spontaneous rules (the spec's entry transitions) -------------------
+
+    def rule_cpu_read(self, state: State) -> Iterator[Tuple[str, State]]:
+        t = self._entries["rule_cpu_read"]
+        cur, caches, racs, cpus, home, deleg, hints, net = state
+        for node in self.readers:
+            if cpus[node] is not None or caches[node][0] != "I":
+                continue
+            new_cpus = _tup_set(cpus, node, ("R", False))
+            new_net = self._send(t, net, ("GETS", node, HOME, (node,)))
+            yield ("read_%d" % node,
+                   (cur, caches, racs, new_cpus, home, deleg, hints,
+                    new_net))
+
+    def rule_cpu_write(self, state: State) -> Iterator[Tuple[str, State]]:
+        t = self._entries["rule_cpu_write"]
+        cur, caches, racs, cpus, home, deleg, hints, net = state
+        for node in self.writers:
+            if cpus[node] is not None or caches[node][0] in "EM":
+                continue
+            has_copy = caches[node][0] == "S"
+            new_cpus = _tup_set(cpus, node, ("W", False, None, 0))
+            new_net = self._send(t, net,
+                                 ("GETX", node, HOME, (node, has_copy)))
+            yield ("write_%d" % node,
+                   (cur, caches, racs, new_cpus, home, deleg, hints,
+                    new_net))
+
+    def rule_evict(self, state: State) -> Iterator[Tuple[str, State]]:
+        t = self._entries["rule_evict"]
+        cur, caches, racs, cpus, home, deleg, hints, net = state
+        for node in range(self.num_nodes):
+            cstate, cvalue = caches[node]
+            if cstate == "I" or cpus[node] is not None:
+                continue
+            new_caches = _tup_set(caches, node, ("I", 0))
+            if cstate == "S":
+                # MESI delta: a Shared eviction is a silent drop — no
+                # read-ahead-consumption entry, nothing on the wire.
+                yield ("evict_s_%d" % node,
+                       (cur, new_caches, racs, cpus, home, deleg, hints,
+                        net))
+            elif cstate == "E":
+                new_net = self._send(t, net, ("EVC", node, HOME, ()))
+                yield ("evict_e_%d" % node,
+                       (cur, new_caches, racs, cpus, home, deleg, hints,
+                        new_net))
+            else:
+                new_net = self._send(t, net, ("WB", node, HOME, (cvalue,)))
+                yield ("evict_m_%d" % node,
+                       (cur, new_caches, racs, cpus, home, deleg, hints,
+                        new_net))
+
+    # -- message delivery ---------------------------------------------------
+
+    def rule_deliver(self, state: State) -> Iterator[Tuple[str, State]]:
+        net = state[7]
+        for pair, queue in net:
+            deliverable = (queue[0],) if self.ordered_channels \
+                else tuple(queue)
+            for msg in deliverable:
+                base = state[:7] + (_net_pop_msg(net, pair, msg),)
+                for label, nxt in self._dispatch_msg(base, msg):
+                    yield (label, nxt)
+
+    def _dispatch_msg(self, state: State,
+                      msg: McMsg) -> Iterator[Tuple[str, State]]:
+        token = msg[0]
+        candidates = self._dispatch.get(token)
+        if not candidates:
+            raise SpecExecutionError(
+                "model emitted token %s, which no %s spec transition "
+                "handles" % (token, self.spec.name))
+        env = self._env(state, msg)
+        matches = [t for t in candidates if guard_allows(t.when, env)]
+        if len(matches) != 1:
+            raise SpecExecutionError(
+                "%d spec transitions match %s in state env %s: %s"
+                % (len(matches), token, env,
+                   [t.label for t in matches]))
+        t = matches[0]
+        if t.has_tag("unreachable"):
+            raise SpecExecutionError(
+                "spec-unreachable transition %r fired for %s (env %s)"
+                % (t.label, token, env))
+        effect = EFFECTS.get(t.effect)
+        if effect is None:
+            raise SpecExecutionError(
+                "transition %r names unknown effect %r"
+                % (t.label, t.effect))
+        for nxt in effect(self, state, msg, t):
+            yield ("%s_%d" % (t.label, msg[2]), nxt)
+
+    # -- commit kernel ------------------------------------------------------
+
+    def _commit_write(self, state: State, node: int) -> State:
+        cur, caches, racs, cpus, home, deleg, hints, net = state
+        new_value = self._base._fresh_value(state)
+        caches = _tup_set(caches, node, ("M", new_value))
+        cpus = _tup_set(cpus, node, None)
+        return (new_value, caches, racs, cpus, home, deleg, hints, net)
+
+    def _maybe_commit(self, state: State, node: int) -> State:
+        cpu = state[3][node]
+        if (cpu is not None and cpu[0] == "W" and cpu[1]
+                and cpu[3] >= cpu[2]):
+            return self._commit_write(state, node)
+        return state
+
+
+# -- effect kernel -------------------------------------------------------------
+#
+# Each effect is the executable body of one (or a family of) spec
+# transition(s): ``effect(model, state, msg, t) -> iterable[next_state]``.
+# ``state`` already has the message consumed.  Ported from the hand
+# model's handlers with the MESI deltas noted inline.
+
+
+def _memval_after(home: Any, msg: McMsg) -> Any:
+    """WRITEBACK data always lands in memory, even on stale paths."""
+    return msg[3][0] if msg[0] == "WB" else home[3]
+
+
+def _eff_stale_drop(model: SpecModel, state: State, msg: McMsg,
+                    t: T) -> Iterator[State]:
+    yield state
+
+
+def _eff_nack_requester(model: SpecModel, state: State, msg: McMsg,
+                        t: T) -> Iterator[State]:
+    requester = msg[3][0]
+    net = model._send(t, state[7], ("NACK", HOME, requester, ()))
+    yield state[:7] + (net,)
+
+
+def _eff_gets_unowned(model: SpecModel, state: State, msg: McMsg,
+                      t: T) -> Iterator[State]:
+    cur, caches, racs, cpus, home, deleg, hints, net = state
+    requester = msg[3][0]
+    memval = home[3]
+    new_home = ("E", frozenset(), requester, memval, None)
+    net = model._send(t, net, ("DATA_E", HOME, requester, (memval, 0)))
+    yield (cur, caches, racs, cpus, new_home, deleg, hints, net)
+
+
+def _eff_gets_shared(model: SpecModel, state: State, msg: McMsg,
+                     t: T) -> Iterator[State]:
+    cur, caches, racs, cpus, home, deleg, hints, net = state
+    requester = msg[3][0]
+    _h, sharers, _o, memval, _b = home
+    new_home = ("S", sharers | {requester}, None, memval, None)
+    net = model._send(t, net, ("DATA_S", HOME, requester, (memval, False)))
+    yield (cur, caches, racs, cpus, new_home, deleg, hints, net)
+
+
+def _eff_gets_intervene(model: SpecModel, state: State, msg: McMsg,
+                        t: T) -> Iterator[State]:
+    cur, caches, racs, cpus, home, deleg, hints, net = state
+    requester = msg[3][0]
+    hstate, sharers, owner, memval, _b = home
+    new_home = (hstate, sharers, owner, memval, ("int_s", requester, False))
+    net = model._send(t, net, ("INT", HOME, owner, ("s", requester)))
+    yield (cur, caches, racs, cpus, new_home, deleg, hints, net)
+
+
+def _eff_getx_unowned(model: SpecModel, state: State, msg: McMsg,
+                      t: T) -> Iterator[State]:
+    cur, caches, racs, cpus, home, deleg, hints, net = state
+    requester = msg[3][0]
+    memval = home[3]
+    new_home = ("E", frozenset(), requester, memval, None)
+    net = model._send(t, net, ("DATA_E", HOME, requester, (memval, 0)))
+    yield (cur, caches, racs, cpus, new_home, deleg, hints, net)
+
+
+def _getx_from_shared(model: SpecModel, state: State, msg: McMsg, t: T,
+                      grant_ack: bool) -> Iterator[State]:
+    cur, caches, racs, cpus, home, deleg, hints, net = state
+    requester = msg[3][0]
+    _h, sharers, _o, memval, _b = home
+    targets = sharers - {requester}
+    for target in sorted(targets):
+        net = model._send(t, net, ("INV", HOME, target, (requester,)))
+    if grant_ack:
+        grant: McMsg = ("ACK_X", HOME, requester, (len(targets),))
+    else:
+        grant = ("DATA_E", HOME, requester, (memval, len(targets)))
+    net = model._send(t, net, grant)
+    # MESI delta: the invalidated readers are *forgotten* — the adaptive
+    # protocol preserves them here as the predicted-consumer set.
+    new_home = ("E", frozenset(), requester, memval, None)
+    yield (cur, caches, racs, cpus, new_home, deleg, hints, net)
+
+
+def _eff_getx_upgrade(model: SpecModel, state: State, msg: McMsg,
+                      t: T) -> Iterator[State]:
+    yield from _getx_from_shared(model, state, msg, t, grant_ack=True)
+
+
+def _eff_getx_shared(model: SpecModel, state: State, msg: McMsg,
+                     t: T) -> Iterator[State]:
+    yield from _getx_from_shared(model, state, msg, t, grant_ack=False)
+
+
+def _eff_getx_intervene(model: SpecModel, state: State, msg: McMsg,
+                        t: T) -> Iterator[State]:
+    cur, caches, racs, cpus, home, deleg, hints, net = state
+    requester = msg[3][0]
+    hstate, sharers, owner, memval, _b = home
+    new_home = (hstate, sharers, owner, memval, ("int_x", requester, False))
+    net = model._send(t, net, ("INT", HOME, owner, ("x", requester)))
+    yield (cur, caches, racs, cpus, new_home, deleg, hints, net)
+
+
+def _eff_install_shared(model: SpecModel, state: State, msg: McMsg,
+                        t: T) -> Iterator[State]:
+    cur, caches, racs, cpus, home, deleg, hints, net = state
+    dst, value = msg[2], msg[3][0]
+    caches = _tup_set(caches, dst, ("S", value))
+    cpus = _tup_set(cpus, dst, None)
+    yield (cur, caches, racs, cpus, home, deleg, hints, net)
+
+
+def _eff_raced_drop(model: SpecModel, state: State, msg: McMsg,
+                    t: T) -> Iterator[State]:
+    cpus = _tup_set(state[3], msg[2], None)
+    yield state[:3] + (cpus,) + state[4:]
+
+
+def _eff_install_excl(model: SpecModel, state: State, msg: McMsg,
+                      t: T) -> Iterator[State]:
+    cur, caches, racs, cpus, home, deleg, hints, net = state
+    dst, value = msg[2], msg[3][0]
+    caches = _tup_set(caches, dst, ("E", value))
+    cpus = _tup_set(cpus, dst, None)
+    yield (cur, caches, racs, cpus, home, deleg, hints, net)
+
+
+def _eff_raced_excl_drop(model: SpecModel, state: State, msg: McMsg,
+                         t: T) -> Iterator[State]:
+    cur, caches, racs, cpus, home, deleg, hints, net = state
+    dst = msg[2]
+    cpus = _tup_set(cpus, dst, None)
+    # An exclusively granted line dropped unread is a clean eviction the
+    # directory must hear about.
+    net = model._send(t, net, ("EVC", dst, HOME, ()))
+    yield (cur, caches, racs, cpus, home, deleg, hints, net)
+
+
+def _eff_grant_excl(model: SpecModel, state: State, msg: McMsg,
+                    t: T) -> Iterator[State]:
+    dst = msg[2]
+    n_acks = msg[3][1] if msg[0] == "DATA_E" else 0
+    cpu = state[3][dst]
+    cpus = _tup_set(state[3], dst, ("W", True, n_acks, cpu[3]))
+    yield model._maybe_commit(state[:3] + (cpus,) + state[4:], dst)
+
+
+def _eff_grant_ack(model: SpecModel, state: State, msg: McMsg,
+                   t: T) -> Iterator[State]:
+    dst, n_acks = msg[2], msg[3][0]
+    cpu = state[3][dst]
+    cpus = _tup_set(state[3], dst, ("W", True, n_acks, cpu[3]))
+    yield model._maybe_commit(state[:3] + (cpus,) + state[4:], dst)
+
+
+def _eff_apply_inv(model: SpecModel, state: State, msg: McMsg,
+                   t: T) -> Iterator[State]:
+    cur, caches, racs, cpus, home, deleg, hints, net = state
+    dst, collector = msg[2], msg[3][0]
+    cpu = cpus[dst]
+    if cpu is not None and cpu[0] == "R":
+        cpus = _tup_set(cpus, dst, ("R", True))  # raced: drop after use
+    caches = _tup_set(caches, dst, ("I", 0))
+    net = model._send(t, net, ("INV_ACK", dst, collector, ()))
+    yield (cur, caches, racs, cpus, home, deleg, hints, net)
+
+
+def _eff_count_inv_ack(model: SpecModel, state: State, msg: McMsg,
+                       t: T) -> Iterator[State]:
+    dst = msg[2]
+    kind, granted, needed, got = state[3][dst]
+    cpus = _tup_set(state[3], dst, (kind, granted, needed, got + 1))
+    yield model._maybe_commit(state[:3] + (cpus,) + state[4:], dst)
+
+
+def _eff_int_busy_nack(model: SpecModel, state: State, msg: McMsg,
+                       t: T) -> Iterator[State]:
+    dst, mode = msg[2], msg[3][0]
+    net = model._send(t, state[7], ("NACKI", dst, HOME, ("busy", mode)))
+    yield state[:7] + (net,)
+
+
+def _eff_int_no_copy_nack(model: SpecModel, state: State, msg: McMsg,
+                          t: T) -> Iterator[State]:
+    dst, mode = msg[2], msg[3][0]
+    net = model._send(t, state[7], ("NACKI", dst, HOME, ("no_copy", mode)))
+    yield state[:7] + (net,)
+
+
+def _eff_serve_int_shared(model: SpecModel, state: State, msg: McMsg,
+                          t: T) -> Iterator[State]:
+    cur, caches, racs, cpus, home, deleg, hints, net = state
+    dst, requester = msg[2], msg[3][1]
+    cvalue = caches[dst][1]
+    caches = _tup_set(caches, dst, ("S", cvalue))
+    net = model._send(t, net,
+                      ("SH_WB", dst, HOME, (cvalue,)),
+                      ("SH_RESP", dst, requester, (cvalue,)))
+    yield (cur, caches, racs, cpus, home, deleg, hints, net)
+
+
+def _eff_serve_int_excl(model: SpecModel, state: State, msg: McMsg,
+                        t: T) -> Iterator[State]:
+    cur, caches, racs, cpus, home, deleg, hints, net = state
+    dst, requester = msg[2], msg[3][1]
+    cvalue = caches[dst][1]
+    caches = _tup_set(caches, dst, ("I", 0))
+    net = model._send(t, net,
+                      ("EX_RESP", dst, requester, (cvalue,)),
+                      ("XFER", dst, HOME, (requester,)))
+    yield (cur, caches, racs, cpus, home, deleg, hints, net)
+
+
+def _eff_retry_read(model: SpecModel, state: State, msg: McMsg,
+                    t: T) -> Iterator[State]:
+    dst = msg[2]
+    net = model._send(t, state[7], ("GETS", dst, HOME, (dst,)))
+    yield state[:7] + (net,)
+
+
+def _eff_retry_write(model: SpecModel, state: State, msg: McMsg,
+                     t: T) -> Iterator[State]:
+    dst = msg[2]
+    has_copy = state[1][dst][0] == "S"
+    net = model._send(t, state[7], ("GETX", dst, HOME, (dst, has_copy)))
+    yield state[:7] + (net,)
+
+
+def _eff_int_retry(model: SpecModel, state: State, msg: McMsg,
+                   t: T) -> Iterator[State]:
+    cur, caches, racs, cpus, home, deleg, hints, net = state
+    mode = msg[3][1]
+    _h, _s, owner, _m, busy = home
+    net = model._send(t, net, ("INT", HOME, owner, (mode, busy[1])))
+    yield (cur, caches, racs, cpus, home, deleg, hints, net)
+
+
+def _resolve_wb_race(model: SpecModel, state: State, t: T) -> State:
+    """Reset to UNOWNED and replay the buffered request (hand model's
+    ``_resolve_wb_race``, minus the delegation arm)."""
+    cur, caches, racs, cpus, home, deleg, hints, net = state
+    _h, _s, _o, memval, busy = home
+    kind, requester, extra = busy
+    if kind == "int_s":
+        replay: McMsg = ("GETS", requester, HOME, (requester,))
+    elif kind == "wb" and extra[0] == "GETS":
+        replay = ("GETS", extra[1], HOME, (extra[1],))
+    else:
+        req = extra[1] if kind == "wb" else requester
+        replay = ("GETX", req, HOME, (req, False))
+    new_home = ("U", frozenset(), None, memval, None)
+    net = model._send(t, net, replay)
+    return (cur, caches, racs, cpus, new_home, deleg, hints, net)
+
+
+def _eff_wb_race_resolve(model: SpecModel, state: State, msg: McMsg,
+                         t: T) -> Iterator[State]:
+    yield _resolve_wb_race(model, state, t)
+
+
+def _eff_int_await_writeback(model: SpecModel, state: State, msg: McMsg,
+                             t: T) -> Iterator[State]:
+    cur, caches, racs, cpus, home, deleg, hints, net = state
+    hstate, sharers, owner, memval, busy = home
+    req = busy[1]
+    buffered = ("GETS", req) if busy[0] == "int_s" else ("GETX", req)
+    new_home = (hstate, sharers, owner, memval, ("wb", req, buffered))
+    yield (cur, caches, racs, cpus, new_home, deleg, hints, net)
+
+
+def _eff_wb_resolve(model: SpecModel, state: State, msg: McMsg,
+                    t: T) -> Iterator[State]:
+    cur, caches, racs, cpus, home, deleg, hints, net = state
+    hstate, sharers, owner, _m, busy = home
+    home = (hstate, sharers, owner, _memval_after(home, msg), busy)
+    yield _resolve_wb_race(
+        model, (cur, caches, racs, cpus, home, deleg, hints, net), t)
+
+
+def _eff_wb_mark_during_int(model: SpecModel, state: State, msg: McMsg,
+                            t: T) -> Iterator[State]:
+    cur, caches, racs, cpus, home, deleg, hints, net = state
+    hstate, sharers, owner, _m, busy = home
+    new_home = (hstate, sharers, owner, _memval_after(home, msg),
+                (busy[0], busy[1], True))
+    yield (cur, caches, racs, cpus, new_home, deleg, hints, net)
+
+
+def _eff_wb_apply(model: SpecModel, state: State, msg: McMsg,
+                  t: T) -> Iterator[State]:
+    cur, caches, racs, cpus, home, deleg, hints, net = state
+    _h, sharers, _o, _m, _b = home
+    new_home = ("U", sharers, None, _memval_after(home, msg), None)
+    yield (cur, caches, racs, cpus, new_home, deleg, hints, net)
+
+
+def _eff_wb_stale(model: SpecModel, state: State, msg: McMsg,
+                  t: T) -> Iterator[State]:
+    cur, caches, racs, cpus, home, deleg, hints, net = state
+    hstate, sharers, owner, _m, busy = home
+    new_home = (hstate, sharers, owner, _memval_after(home, msg), busy)
+    yield (cur, caches, racs, cpus, new_home, deleg, hints, net)
+
+
+def _eff_evc_apply(model: SpecModel, state: State, msg: McMsg,
+                   t: T) -> Iterator[State]:
+    cur, caches, racs, cpus, home, deleg, hints, net = state
+    _h, sharers, _o, memval, _b = home
+    new_home = ("U", sharers, None, memval, None)
+    yield (cur, caches, racs, cpus, new_home, deleg, hints, net)
+
+
+def _eff_sh_wb_apply(model: SpecModel, state: State, msg: McMsg,
+                     t: T) -> Iterator[State]:
+    cur, caches, racs, cpus, home, deleg, hints, net = state
+    value = msg[3][0]
+    _h, _s, owner, _m, busy = home
+    new_home = ("S", frozenset({owner, busy[1]}), None, value, None)
+    yield (cur, caches, racs, cpus, new_home, deleg, hints, net)
+
+
+def _eff_xfer_apply(model: SpecModel, state: State, msg: McMsg,
+                    t: T) -> Iterator[State]:
+    cur, caches, racs, cpus, home, deleg, hints, net = state
+    new_owner = msg[3][0]
+    hstate, sharers, _o, memval, _b = home
+    new_home = ("E", sharers, new_owner, memval, None)
+    yield (cur, caches, racs, cpus, new_home, deleg, hints, net)
+
+
+#: effect name (as referenced by spec transitions) -> kernel primitive.
+EFFECTS: Dict[str, Callable[[SpecModel, State, McMsg, T],
+                            Iterator[State]]] = {
+    "stale_drop": _eff_stale_drop,
+    "nack_requester": _eff_nack_requester,
+    "gets_unowned": _eff_gets_unowned,
+    "gets_shared": _eff_gets_shared,
+    "gets_intervene": _eff_gets_intervene,
+    "getx_unowned": _eff_getx_unowned,
+    "getx_upgrade": _eff_getx_upgrade,
+    "getx_shared": _eff_getx_shared,
+    "getx_intervene": _eff_getx_intervene,
+    "install_shared": _eff_install_shared,
+    "raced_drop": _eff_raced_drop,
+    "install_excl": _eff_install_excl,
+    "raced_excl_drop": _eff_raced_excl_drop,
+    "grant_excl": _eff_grant_excl,
+    "grant_ack": _eff_grant_ack,
+    "apply_inv": _eff_apply_inv,
+    "count_inv_ack": _eff_count_inv_ack,
+    "int_busy_nack": _eff_int_busy_nack,
+    "int_no_copy_nack": _eff_int_no_copy_nack,
+    "serve_int_shared": _eff_serve_int_shared,
+    "serve_int_excl": _eff_serve_int_excl,
+    "retry_read": _eff_retry_read,
+    "retry_write": _eff_retry_write,
+    "int_retry": _eff_int_retry,
+    "wb_race_resolve": _eff_wb_race_resolve,
+    "int_await_writeback": _eff_int_await_writeback,
+    "wb_resolve": _eff_wb_resolve,
+    "wb_mark_during_int": _eff_wb_mark_during_int,
+    "wb_apply": _eff_wb_apply,
+    "wb_stale": _eff_wb_stale,
+    "evc_apply": _eff_evc_apply,
+    "sh_wb_apply": _eff_sh_wb_apply,
+    "xfer_apply": _eff_xfer_apply,
+}

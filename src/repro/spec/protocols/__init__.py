@@ -1,0 +1,8 @@
+"""One guarded-action spec module per arena protocol.
+
+Each module defines a single ``SPEC`` constant.  The modules import
+:mod:`repro.spec.lang` absolutely so that :func:`repro.spec.registry.
+load_spec_tree` can ``exec`` them out of an *analyzed* source tree (the
+lint mutation tests copy trees around) while still resolving the IR
+classes from the installed package.
+"""

@@ -1,0 +1,76 @@
+"""Loading protocol specs — installed and from analyzed source trees.
+
+Two access paths:
+
+* :func:`get_spec` / :func:`all_specs` import the specs shipped with the
+  installed package — the normal path for the CLI, the arena, and the
+  generated model checker.
+* :func:`load_spec_tree` loads spec modules *from an analyzed source
+  tree* by ``exec``-ing ``<root>/spec/protocols/*.py``.  The lint
+  pipeline analyzes a tree that is not necessarily the installed package
+  (the mutation tests copy and mutate trees), so the specs checked must
+  come from the same tree as the extracted sim/mc graphs.  A tree
+  without a ``spec/protocols/`` directory (a legacy seed) yields ``{}``
+  and the lint pipeline falls back to its name-map heuristic.
+"""
+
+from pathlib import Path
+from typing import Dict
+
+from .lang import ProtocolSpec, SpecError
+
+SPEC_NAMES = ("adaptive", "wi", "mesi", "dragon")
+
+
+def get_spec(name: str) -> ProtocolSpec:
+    """Return the installed spec for ``name`` (validated)."""
+    if name not in SPEC_NAMES:
+        raise SpecError("no spec for protocol %r (have: %s)"
+                        % (name, ", ".join(SPEC_NAMES)))
+    from importlib import import_module
+    module = import_module("repro.spec.protocols.%s" % name)
+    spec = module.SPEC
+    if not isinstance(spec, ProtocolSpec):  # pragma: no cover - defensive
+        raise SpecError("repro.spec.protocols.%s.SPEC is not a "
+                        "ProtocolSpec" % name)
+    spec.validate()
+    return spec
+
+
+def all_specs() -> Dict[str, ProtocolSpec]:
+    """All installed specs, keyed by protocol name."""
+    return {name: get_spec(name) for name in SPEC_NAMES}
+
+
+def load_spec_tree(root: Path) -> Dict[str, ProtocolSpec]:
+    """Load every spec found under ``<root>/spec/protocols``.
+
+    Spec modules are executed from source so that a mutated copy of the
+    tree is analyzed as-is; their ``from repro.spec.lang import ...``
+    still resolves against the installed IR, which is what defines the
+    language, not the protocol.  Raises :class:`SpecError` for specs
+    that fail structural validation — a broken spec is a configuration
+    error, not a finding.
+    """
+    spec_dir = Path(root) / "spec" / "protocols"
+    specs: Dict[str, ProtocolSpec] = {}
+    if not spec_dir.is_dir():
+        return specs
+    for path in sorted(spec_dir.glob("*.py")):
+        if path.name.startswith("_"):
+            continue
+        source = path.read_text(encoding="utf-8")
+        namespace: Dict[str, object] = {"__name__": "repro_spec_tree_%s"
+                                        % path.stem}
+        try:
+            exec(compile(source, str(path), "exec"), namespace)
+        except SpecError:
+            raise
+        except Exception as exc:
+            raise SpecError("failed to load spec %s: %s" % (path, exc))
+        spec = namespace.get("SPEC")
+        if not isinstance(spec, ProtocolSpec):
+            raise SpecError("%s defines no SPEC ProtocolSpec" % path)
+        spec.validate()
+        specs[spec.name] = spec
+    return specs

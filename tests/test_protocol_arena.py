@@ -214,8 +214,13 @@ class TestLintProtocolAwareness:
         report = run_lint()
         statuses = report.stats["protocols"]
         assert statuses["adaptive"] == "conformance-checked (mc twin)"
-        for name in ("wi", "mesi", "dragon"):
-            assert statuses[name] == "conformance-skipped (no mc twin)"
+        assert statuses["mesi"] == \
+            "conformance-checked (generated mc twin)"
+        for name in ("wi", "dragon"):
+            assert statuses[name] == "spec-checked (no mc twin)"
+        assert report.stats["conformance"]["source"] == "spec"
+        assert report.stats["conformance"]["specs"] == \
+            ["adaptive", "dragon", "mesi", "wi"]
 
     def test_arn001_fires_on_unknown_msgtype(self):
         from repro.lint import default_root

@@ -1,0 +1,112 @@
+"""The spec-compiled model checker (repro.spec.mcgen).
+
+The MESI spec compiles into an executable ``repro.mc`` model; this file
+pins the exhaustive-check result, proves the compiled model still has
+teeth (a seeded wrong effect trips the safety invariants), and exercises
+the compiler's own guard rails: emission checking, exactly-one dispatch,
+``unreachable`` tags, and the generated-only entry requirement.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.mc import ALL_INVARIANTS, ModelChecker
+from repro.mc.engine import InvariantViolation
+from repro.spec import get_spec
+from repro.spec.mcgen import SpecExecutionError, SpecModel
+
+
+def check(model, max_states=500_000):
+    checker = ModelChecker(model.initial_states(), model.rules(),
+                           ALL_INVARIANTS, quiescent=model.quiescent,
+                           max_states=max_states, track_traces=True,
+                           canonicalize=model.canonical)
+    return checker.run()
+
+
+def mesi_model(spec=None, **kwargs):
+    return SpecModel(spec if spec is not None else get_spec("mesi"),
+                     **kwargs)
+
+
+def replace_transition(spec, label, **changes):
+    assert any(t.label == label for t in spec.transitions), label
+    ts = tuple(dataclasses.replace(t, **changes) if t.label == label else t
+               for t in spec.transitions)
+    return dataclasses.replace(spec, transitions=ts)
+
+
+class TestExhaustiveCheck:
+    def test_generated_mesi_model_passes(self):
+        result = check(mesi_model())
+        # Pinned so a spec or compiler change that shrinks or grows the
+        # reachable space is visible, not silent.
+        assert result.states_explored == 254
+        assert result.transitions == 527
+        assert result.max_depth == 22
+
+    def test_unordered_channels_also_pass(self):
+        # MESI has no payload-racing reorder hazard: unlike the adaptive
+        # protocol, dropping FIFO must not surface a counterexample.
+        result = check(mesi_model(ordered_channels=False))
+        assert result.states_explored >= 254
+
+
+class TestModelHasTeeth:
+    def test_seeded_wrong_effect_trips_invariants(self):
+        # Serve a GETX from the shared state with the unowned-grant
+        # effect: sharers keep stale copies with no invalidations, which
+        # the single-writer/value invariants must catch.
+        spec = replace_transition(get_spec("mesi"), "getx_shared",
+                                  effect="getx_unowned",
+                                  emit=("DATA_EXCL",))
+        with pytest.raises(InvariantViolation):
+            check(mesi_model(spec))
+
+
+class TestCompilerGuardRails:
+    def test_non_generated_spec_is_rejected(self):
+        with pytest.raises(SpecExecutionError, match="only 'generated'"):
+            SpecModel(get_spec("adaptive"))
+
+    def test_undeclared_emission_is_caught_at_runtime(self):
+        # The unowned-GETS effect sends DATA_EXCL; stripping it from the
+        # declared emit set makes the very first read miss a violation.
+        spec = replace_transition(get_spec("mesi"), "gets_unowned",
+                                  emit=())
+        with pytest.raises(SpecExecutionError, match="outside its "
+                           "declared emit set"):
+            check(mesi_model(spec))
+
+    def test_ambiguous_dispatch_is_caught_at_runtime(self):
+        # Widening gets_shared to dir in {S, E} makes two transitions
+        # claim a GETS arriving at an exclusive line.
+        spec = replace_transition(
+            get_spec("mesi"), "gets_shared",
+            when=(("busy", ("none",)), ("dir", ("S", "E"))))
+        with pytest.raises(SpecExecutionError, match="transitions match"):
+            check(mesi_model(spec))
+
+    def test_unreachable_tag_firing_is_a_violation(self):
+        spec = replace_transition(get_spec("mesi"), "gets_unowned",
+                                  tags=("unreachable",))
+        with pytest.raises(SpecExecutionError, match="spec-unreachable"):
+            check(mesi_model(spec))
+
+    def test_missing_entry_rule_is_rejected(self):
+        spec = get_spec("mesi")
+        ts = tuple(t for t in spec.transitions
+                   if t.mc_rule != "rule_evict")
+        spec = dataclasses.replace(spec, transitions=ts)
+        with pytest.raises(SpecExecutionError,
+                           match="no entry transition for rule_evict"):
+            SpecModel(spec)
+
+
+class TestVerifyCli:
+    def test_verify_mesi_passes(self, capsys):
+        from repro.cli import main
+        assert main(["verify", "--protocol", "mesi"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("PASS: 254 states")
