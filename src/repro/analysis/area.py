@@ -29,8 +29,34 @@ AGE_BITS = 2
 DIR_ENTRY_BITS = 32         # the delegated DirEntry payload
 
 #: Detector extension per directory-cache entry (paper §2.2): 4-bit last
-#: writer + 2-bit reader count + 2-bit write-repeat counter.
+#: writer + 2-bit reader count + 2-bit write-repeat counter.  The paper's
+#: value for its 16-node machine; bigger machines widen the last-writer
+#: field, which :func:`detector_bits_per_entry` accounts for.
 DETECTOR_BITS_PER_ENTRY = 8
+
+
+def detector_bits_per_entry(config):
+    """Detector bits per directory-cache entry for ``config``'s machine.
+
+    Exactly :data:`DETECTOR_BITS_PER_ENTRY` (8) up to 16 nodes; beyond
+    that the last-writer field grows to address every node.
+    """
+    return (config.last_writer_bits + config.protocol.reader_count_bits
+            + config.protocol.write_repeat_bits)
+
+
+def directory_vector_bytes(config):
+    """Sharing-vector SRAM across the directory cache, in bytes.
+
+    This is the storage the compressed formats trade against traffic
+    (docs/scaling.md): ``bits_per_entry`` of the configured format times
+    the directory-cache entry count.
+    """
+    from ..directory.formats import DirectoryFormat
+
+    fmt = DirectoryFormat.parse(config.directory_format)
+    bits = fmt.bits_per_entry(config.num_nodes)
+    return config.directory_cache_entries * bits // 8
 
 
 def producer_entry_bits():
@@ -82,7 +108,7 @@ def area_of(config: SystemConfig) -> AreaBudget:
     producer_bytes = entries * producer_entry_bits() // 8
     consumer_bytes = entries * consumer_entry_bits() // 8
     detector_bytes = (config.directory_cache_entries
-                      * DETECTOR_BITS_PER_ENTRY // 8)
+                      * detector_bits_per_entry(config) // 8)
     return AreaBudget(
         producer_table_bytes=producer_bytes,
         consumer_table_bytes=consumer_bytes,

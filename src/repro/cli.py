@@ -27,6 +27,11 @@ Commands
     fan the simulations out over ``--jobs`` worker processes, replay
     finished ones from the on-disk cache, and optionally emit a
     pytest-benchmark-compatible timing record (see docs/performance.md).
+``scale``
+    The scaling study: storm traffic on large machines (up to 1024
+    nodes), swept over node count x directory format x protocol, with
+    per-cell traffic/fan-out/NACK/latency breakdowns and an optional
+    benchmark-record JSON (see docs/scaling.md).
 ``lint``
     Statically analyze the protocol sources: handler coverage,
     sim <-> model-checker conformance, deadlock heuristics, state
@@ -60,7 +65,7 @@ from .common import params
 from .harness import arena as arena_harness
 from .harness import experiments, run_app
 from .harness import sweep as sweep_mod
-from .harness.sweep import OverrideEngine, SweepEngine, SweepProgress
+from .harness.sweep import SweepEngine, SweepProgress
 from .protocol import arena as arena_mod
 from .mc import ALL_INVARIANTS, ModelChecker, ProtocolModel
 from .obs import TraceConfig, Tracer, export_jsonl, export_perfetto
@@ -144,6 +149,36 @@ def build_parser():
     arena_p.add_argument("--json", dest="json_out", metavar="OUT.json",
                          default=None,
                          help="also write the machine-readable report")
+
+    scale_p = sub.add_parser(
+        "scale", help="sweep storm traffic over node count x directory "
+                      "format x protocol (the scaling study)")
+    scale_p.add_argument("--nodes", default="16,64,256", metavar="N,M,...",
+                         help="comma-separated node counts "
+                              "(default: %(default)s; the study goes to "
+                              "1024)")
+    scale_p.add_argument("--formats", default=None, metavar="F,G,...",
+                         help="comma-separated directory formats "
+                              "(default: full,coarse:8,coarse:16,"
+                              "limited:2,limited:4)")
+    scale_p.add_argument("--protocols", default="adaptive", metavar="P,Q,...",
+                         help="comma-separated protocols "
+                              "(default: %(default)s)")
+    scale_p.add_argument("--scale", type=float, default=1.0)
+    scale_p.add_argument("--seed", type=int, default=0)
+    scale_p.add_argument("--jobs", type=int, default=None, metavar="N",
+                         help="worker processes (default: all CPU cores)")
+    scale_p.add_argument("--no-cache", action="store_true",
+                         help="do not read or write the on-disk result "
+                              "cache")
+    scale_p.add_argument("--cache-dir", default=sweep_mod.CACHE_DIR)
+    scale_p.add_argument("--no-check", action="store_true",
+                         help="disable online coherence checking (faster; "
+                              "the default keeps the run oracle-checked)")
+    scale_p.add_argument("--json", dest="json_out", metavar="OUT.json",
+                         default=None,
+                         help="also write the benchmark-record JSON "
+                              "(BENCH_*.json schema, group 'scale')")
 
     exp_p = sub.add_parser("experiment", help="regenerate a paper artefact")
     exp_p.add_argument("name", choices=sorted(EXPERIMENTS))
@@ -549,21 +584,81 @@ def cmd_arena(args):
     return 0
 
 
+def cmd_scale(args):
+    from .harness import scale as scale_harness
+
+    nodes = tuple(int(n) for n in args.nodes.split(",") if n)
+    formats = (tuple(f for f in args.formats.split(",") if f)
+               if args.formats else scale_harness.DEFAULT_FORMATS)
+    protocols = tuple(p for p in args.protocols.split(",") if p)
+    jobs = args.jobs if args.jobs else (os.cpu_count() or 1)
+    started = time.time()
+    engine = scale_harness.scale_engine(jobs=jobs, cache=not args.no_cache,
+                                        cache_dir=args.cache_dir)
+    report = scale_harness.run_scale(
+        nodes=nodes, formats=formats, protocols=protocols, seed=args.seed,
+        scale=args.scale, check_coherence=not args.no_check, engine=engine)
+    elapsed = time.time() - started
+    print(report.render_text())
+    sweep_report = engine.last_report
+    print("\nscale: %d cells (%d executed, %d cached), %d workers, %.2fs"
+          % (sweep_report.total, sweep_report.executed, sweep_report.cached,
+             engine.effective_jobs, sweep_report.elapsed))
+    if args.json_out:
+        record = {
+            "machine_info": {
+                "python_version": platform.python_version(),
+                "cpu_count": os.cpu_count(),
+            },
+            "datetime": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            "benchmarks": [{
+                "group": "scale",
+                "name": "scale[%s]" % args.nodes,
+                "fullname": "repro scale --nodes %s" % args.nodes,
+                # The CLI strings verbatim, so tools/bench_gate.py can
+                # re-run the exact same sweep.
+                "params": {"nodes": args.nodes,
+                           "formats": ",".join(formats),
+                           "protocols": args.protocols,
+                           "scale": args.scale, "seed": args.seed,
+                           "jobs": args.jobs},
+                "stats": {
+                    "min": elapsed, "max": elapsed, "mean": elapsed,
+                    "median": elapsed, "stddev": 0.0, "rounds": 1,
+                    "iterations": 1, "total": elapsed,
+                    "ops": (1.0 / elapsed) if elapsed else 0.0,
+                },
+                "extra_info": {
+                    "total_jobs": sweep_report.total,
+                    "executed": sweep_report.executed,
+                    "cached": sweep_report.cached,
+                },
+            }],
+            "scale": report.to_json(),
+        }
+        with open(args.json_out, "w") as fileobj:
+            json.dump(record, fileobj, indent=2, sort_keys=True)
+        print("wrote %s" % args.json_out)
+    return 0
+
+
 def cmd_sweep(args):
     engine = _build_engine(args, quiet=args.quiet)
-    if getattr(args, "directory_format", None):
-        engine = OverrideEngine(engine,
-                                directory_format=args.directory_format)
+    # --directory-format threads natively through the experiment into
+    # every SweepJob (and therefore into the content-hashed cache keys).
+    directory_format = getattr(args, "directory_format", None)
     rounds = max(1, getattr(args, "rounds", 1))
     round_times = []
     out = None
     if getattr(args, "warmup", False):
         EXPERIMENTS[args.name](scale=args.scale, seed=args.seed,
-                               engine=engine)
+                               engine=engine,
+                               directory_format=directory_format)
     for _ in range(rounds):
         started = time.time()
         out = EXPERIMENTS[args.name](scale=args.scale, seed=args.seed,
-                                     engine=engine)
+                                     engine=engine,
+                                     directory_format=directory_format)
         round_times.append(time.time() - started)
     elapsed = sum(round_times)
     report = engine.last_report
@@ -924,6 +1019,7 @@ COMMANDS = {
     "list": cmd_list,
     "run": cmd_run,
     "arena": cmd_arena,
+    "scale": cmd_scale,
     "experiment": cmd_experiment,
     "verify": cmd_verify,
     "area": cmd_area,

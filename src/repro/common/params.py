@@ -29,6 +29,11 @@ LINE_SIZE = 128
 #: Minimum network packet size (paper: 32-byte header-only packets).
 HEADER_BYTES = 32
 
+#: Ceiling on simulated machine size.  The scaling study (docs/scaling.md)
+#: targets 1024 nodes; 4096 leaves headroom without letting a typo allocate
+#: a million-node system.
+MAX_NODES = 4096
+
 
 def _check_power_of_two(name, value):
     if value <= 0 or value & (value - 1):
@@ -105,6 +110,11 @@ class NetworkConfig:
     router_radix: int = 8
     header_bytes: int = HEADER_BYTES
     hub_occupancy: int = 4  # cycles a hub's port is busy per message
+    #: Extra cross-leaf latency per router level climbed beyond the first,
+    #: as a fraction of ``hop_latency``.  Machines small enough to climb a
+    #: single level (the paper's 16 nodes at radix 8) are unaffected; a
+    #: 3-level traversal costs ``hop_latency * (1 + 2 * frac)``.
+    level_latency_frac: float = 0.25
 
     def __post_init__(self):
         if self.hop_latency < 1:
@@ -113,6 +123,8 @@ class NetworkConfig:
             raise ConfigError("intra_leaf_fraction must be in (0, 1]")
         if self.router_radix < 2:
             raise ConfigError("router radix must be >= 2")
+        if self.level_latency_frac < 0.0:
+            raise ConfigError("level_latency_frac must be >= 0")
 
 
 @dataclass(frozen=True)
@@ -210,17 +222,35 @@ class SystemConfig:
     def __post_init__(self):
         if self.num_nodes < 1:
             raise ConfigError("need at least one node")
-        if self.num_nodes > 16:
-            # The detector's last-writer field is 4 bits (paper §2.2).
-            raise ConfigError("last-writer field is 4 bits; at most 16 nodes")
+        if self.num_nodes > MAX_NODES:
+            raise ConfigError(
+                "num_nodes %d exceeds the supported maximum of %d"
+                % (self.num_nodes, MAX_NODES))
         for cache in (self.l1, self.l2, self.rac):
             if cache.line_size != self.line_size:
                 raise ConfigError(
                     "all coherence-level caches must use the %d-byte system "
                     "line size" % self.line_size
                 )
+        # Validate the directory-format spec at construction so a typo'd
+        # "coarse:x" fails here with a ConfigError rather than deep inside
+        # hub setup.  Local import: formats depends only on common.errors,
+        # so this cannot cycle, and params stays import-light otherwise.
+        from ..directory.formats import DirectoryFormat
+
+        DirectoryFormat.parse(self.directory_format)
 
     # -- derived helpers -------------------------------------------------
+
+    @property
+    def last_writer_bits(self):
+        """Width of the detector's last-writer field.
+
+        The paper (§2.2) fixes it at 4 bits for its 16-node machine; larger
+        machines grow the field to address every node, which the area model
+        (:mod:`repro.analysis.area`) charges for.
+        """
+        return max(4, (self.num_nodes - 1).bit_length())
 
     def line_of(self, addr):
         """Cache-line base address containing byte address ``addr``."""

@@ -50,12 +50,31 @@ class DirectoryFormat:
 
     @classmethod
     def parse(cls, spec):
-        """Parse "full", "coarse:4" or "limited:2"."""
+        """Parse "full", "coarse:4" or "limited:2".
+
+        Every malformed spec — unknown kind, missing/extra parameter,
+        non-integer parameter ("coarse:x", "limited:2.5") — raises
+        :class:`ConfigError` with a message naming the offending spec,
+        never a bare ``ValueError``.
+        """
+        if not isinstance(spec, str):
+            raise ConfigError(
+                "directory format must be a string, got %r" % (spec,))
         if spec == "full":
             return cls("full", 0)
-        kind, _sep, param = spec.partition(":")
-        if not param:
-            raise ConfigError("format %r needs a parameter" % spec)
+        kind, sep, param = spec.partition(":")
+        if kind == "full":
+            raise ConfigError(
+                'directory format "full" takes no parameter (got %r)' % spec)
+        if not sep or not param:
+            raise ConfigError(
+                "directory format %r needs a parameter: expected "
+                '"coarse:G" or "limited:K"' % spec)
+        if not param.isdigit():
+            raise ConfigError(
+                "directory format %r has a non-integer parameter %r: "
+                'expected "coarse:G" or "limited:K" with a positive '
+                "integer G/K" % (spec, param))
         return cls(kind, int(param))
 
     # -- semantics --------------------------------------------------------

@@ -32,6 +32,30 @@ from ..network.chaos import ChaosConfig, chaos_from_dict, chaos_to_dict
 SCENARIO_FORMAT = 1
 
 
+def storm_workload_kwargs(num_nodes):
+    """The canonical storm workload for an ``num_nodes``-node machine.
+
+    One producer-consumer line per node, consumer sets wide enough to
+    exercise the directory vector but capped so a 1024-node case stays
+    tractable, hot lines everyone reloads after each barrier, false
+    sharing, zero compute gap.  Shared by :meth:`FuzzScenario.storm` and
+    the `repro scale` harness (:mod:`repro.harness.scale`), so the audit
+    and the report measure the same traffic.
+    """
+    return {
+        "iterations": 4,
+        "lines_per_producer": 1,
+        "consumers": min(32, max(2, num_nodes // 8)),
+        "neighbor_consumers": False,
+        "home_random_prob": 0.5,
+        "consumer_churn": 0.25,
+        "compute": 0,
+        "op_gap": 1,
+        "hot_lines": 4,
+        "false_share_pairs": 2,
+    }
+
+
 @dataclass(frozen=True)
 class FuzzScenario:
     """One deterministic stress case (seed + everything the seed rolled)."""
@@ -53,7 +77,8 @@ class FuzzScenario:
         return self.config.num_nodes
 
     @classmethod
-    def from_seed(cls, seed, scale=1.0, protocol=None):
+    def from_seed(cls, seed, scale=1.0, protocol=None, num_nodes=None,
+                  directory_format=None):
         """Roll a full scenario from ``seed`` (deterministic).
 
         ``protocol`` pins the scenario onto one arena protocol (see
@@ -61,7 +86,11 @@ class FuzzScenario:
         rolled the whole space, so ``from_seed(s, protocol=p)`` differs
         from ``from_seed(s)`` only in ``config.protocol_name`` — the same
         seed stresses every protocol with the identical chaos schedule,
-        workload mix and config knobs.
+        workload mix and config knobs.  ``num_nodes`` and
+        ``directory_format`` pin the machine size / directory encoding the
+        same way (the scaling audit replays small-machine seeds on
+        512-1024-node systems); defaults leave every roll untouched, so
+        existing seed digests are byte-identical.
         """
         rng = stream(seed, "fuzz-scenario")
         num_cpus = rng.choice((3, 4, 5, 6, 8))
@@ -110,8 +139,50 @@ class FuzzScenario:
         workloads = cls._roll_workloads(rng, num_cpus)
         if protocol is not None:
             config = replace(config, protocol_name=protocol)
+        if directory_format is not None:
+            config = replace(config, directory_format=directory_format)
+        caps = {}
+        if num_nodes is not None and num_nodes != config.num_nodes:
+            # Pin the machine size post-roll: the workload kwargs stay as
+            # rolled (consumer counts etc. are valid on any bigger
+            # machine), only the node count — and the run caps, which must
+            # grow with it — change.
+            config = replace(config, num_nodes=num_nodes)
+            budget = max(5_000_000, num_nodes * 40_000)
+            caps = {"max_cycles": budget, "max_events": budget}
         return cls(seed=seed, config=config, chaos=chaos,
-                   workloads=workloads, scale=scale)
+                   workloads=workloads, scale=scale, **caps)
+
+    @classmethod
+    def storm(cls, seed, num_nodes, directory_format="full",
+              protocol="adaptive", scale=1.0, chaos=None):
+        """A deterministic storm case tuned for 256-1024-node machines.
+
+        Unlike :meth:`from_seed` (which rolls a small machine and lets the
+        audit pin ``num_nodes`` afterwards), this builds the scaling
+        study's canonical workload directly: every node produces one line,
+        consumer sets span a fixed slice of the machine, and post-barrier
+        hot-line flurries plus false sharing at zero compute gap drive the
+        NACK/retry and update fan-out storms the breakdown curves measure.
+        The same ``(seed, num_nodes, scale)`` always yields the same
+        workload, whatever the format/protocol — so cells of the `repro
+        scale` report differ only in the knob under study.
+        """
+        config = enhanced(delegate_entries=32, rac_bytes=32 * 1024,
+                          num_nodes=num_nodes)
+        config = config.with_protocol(
+            intervention_delay=5,
+            nack_retry_delay=5,
+            retry_backoff="exp",
+            retry_jitter_frac=0.5,
+        )
+        config = replace(config, seed=seed, protocol_name=protocol,
+                         directory_format=directory_format)
+        workloads = (("pc", storm_workload_kwargs(num_nodes)),)
+        budget = max(5_000_000, num_nodes * 40_000)
+        return cls(seed=seed, config=config, chaos=chaos,
+                   workloads=workloads, scale=scale,
+                   max_cycles=budget, max_events=budget)
 
     @staticmethod
     def _roll_workloads(rng, num_cpus):

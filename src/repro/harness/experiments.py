@@ -70,19 +70,25 @@ def _engine(engine):
     return engine if engine is not None else default_engine()
 
 
-def _job(app, config, seed, scale):
-    return SweepJob(app=app, config=config, seed=seed, scale=scale)
+def _job(app, config, seed, scale, directory_format=None):
+    # directory_format rides as a native SweepJob field (folded into the
+    # config before hashing), so "coarse:4" matrices can never alias
+    # "full" ones in the cache.
+    return SweepJob(app=app, config=config, seed=seed, scale=scale,
+                    directory_format=directory_format)
 
 
 # ---------------------------------------------------------------------------
 # Table 3 — number of consumers in producer-consumer patterns
 # ---------------------------------------------------------------------------
 
-def table3(scale=1.0, seed=12345, apps=APPS, engine=None):
+def table3(scale=1.0, seed=12345, apps=APPS, engine=None,
+           directory_format=None):
     """Consumer-count distribution observed by the detector (base system)."""
     buckets = ("1", "2", "3", "4", "4+")
     runs = _engine(engine).run_many(
-        {app: _job(app, params.baseline(), seed, scale) for app in apps})
+        {app: _job(app, params.baseline(), seed, scale, directory_format)
+         for app in apps})
     rows = []
     measured = {}
     for app in apps:
@@ -98,11 +104,12 @@ def table3(scale=1.0, seed=12345, apps=APPS, engine=None):
 # Figure 7 — speedup / network messages / remote misses, 7 apps x 6 systems
 # ---------------------------------------------------------------------------
 
-def figure7(scale=1.0, seed=12345, apps=APPS, engine=None):
+def figure7(scale=1.0, seed=12345, apps=APPS, engine=None,
+            directory_format=None):
     """The paper's main result: all apps on all six system presets."""
     systems = evaluated_systems()
     runs = _engine(engine).run_many(
-        {(app, name): _job(app, config, seed, scale)
+        {(app, name): _job(app, config, seed, scale, directory_format)
          for app in apps for name, config in systems.items()})
     speedups, messages, misses = {}, {}, {}
     for app in apps:
@@ -127,12 +134,13 @@ def figure7(scale=1.0, seed=12345, apps=APPS, engine=None):
             "text": "\n\n".join(sections)}
 
 
-def headline(scale=1.0, seed=12345, apps=APPS, engine=None):
+def headline(scale=1.0, seed=12345, apps=APPS, engine=None,
+             directory_format=None):
     """Geomean speedup + mean traffic/remote-miss reduction, small & large."""
     configs = {"base": params.baseline(), "small": params.small(),
                "large": params.large()}
     runs = _engine(engine).run_many(
-        {(cname, app): _job(app, config, seed, scale)
+        {(cname, app): _job(app, config, seed, scale, directory_format)
          for cname, config in configs.items() for app in apps})
     out = {}
     base_runs = {app: runs[("base", app)].metrics for app in apps}
@@ -153,11 +161,12 @@ def headline(scale=1.0, seed=12345, apps=APPS, engine=None):
     return {"measured": out, "paper": PAPER["headline"], "text": text}
 
 
-def delegation_only(scale=1.0, seed=12345, apps=APPS, engine=None):
+def delegation_only(scale=1.0, seed=12345, apps=APPS, engine=None,
+                    directory_format=None):
     """Paper §3.2: delegation without updates lands within ~1% of baseline."""
     configs = {"base": params.baseline(), "dele": params.delegation_only()}
     runs = _engine(engine).run_many(
-        {(cname, app): _job(app, config, seed, scale)
+        {(cname, app): _job(app, config, seed, scale, directory_format)
          for cname, config in configs.items() for app in apps})
     out = {}
     for app in apps:
@@ -173,7 +182,8 @@ def delegation_only(scale=1.0, seed=12345, apps=APPS, engine=None):
 # Figure 8 — smarter vs larger caches (equal silicon area)
 # ---------------------------------------------------------------------------
 
-def figure8(scale=1.0, seed=12345, apps=APPS, engine=None):
+def figure8(scale=1.0, seed=12345, apps=APPS, engine=None,
+            directory_format=None):
     """1 MB L2 baseline vs 1 MB L2 + extensions vs 1.04 MB L2 baseline.
 
     The equal-area L2 size is *derived* from the paper's §3.3.1 SRAM
@@ -189,7 +199,7 @@ def figure8(scale=1.0, seed=12345, apps=APPS, engine=None):
         "bigger": replace(params.baseline(), l2=l2_104m),
     }
     runs = _engine(engine).run_many(
-        {(cname, app): _job(app, config, seed, scale)
+        {(cname, app): _job(app, config, seed, scale, directory_format)
          for cname, config in configs.items() for app in apps})
     speedups = {}
     for app in apps:
@@ -219,7 +229,7 @@ FIGURE9_INFINITE = 10 ** 12  # effectively "never downgrade speculatively"
 
 
 def figure9(scale=1.0, seed=12345, apps=APPS, delays=FIGURE9_DELAYS,
-            include_infinite=True, engine=None):
+            include_infinite=True, engine=None, directory_format=None):
     """Execution time vs intervention delay, normalised to the 5-cycle run."""
     sweep = list(delays)
     if include_infinite:
@@ -227,7 +237,7 @@ def figure9(scale=1.0, seed=12345, apps=APPS, delays=FIGURE9_DELAYS,
     runs = _engine(engine).run_many(
         {(app, delay): _job(
             app, params.small().with_protocol(intervention_delay=delay),
-            seed, scale)
+            seed, scale, directory_format)
          for app in apps for delay in sweep})
     series = {}
     for app in apps:
@@ -255,7 +265,7 @@ FIGURE10_HOPS_NS = (25, 50, 100, 200)
 
 
 def figure10(scale=1.0, seed=12345, app="appbt", hops_ns=FIGURE10_HOPS_NS,
-             engine=None):
+             engine=None, directory_format=None):
     """Baseline + enhanced execution time and speedup vs hop latency."""
     def with_hop(config, ns):
         return replace(config, network=replace(config.network,
@@ -264,9 +274,9 @@ def figure10(scale=1.0, seed=12345, app="appbt", hops_ns=FIGURE10_HOPS_NS,
     jobs = {}
     for ns in hops_ns:
         jobs[(ns, "base")] = _job(app, with_hop(params.baseline(), ns),
-                                  seed, scale)
+                                  seed, scale, directory_format)
         jobs[(ns, "enh")] = _job(app, with_hop(params.small(), ns),
-                                 seed, scale)
+                                 seed, scale, directory_format)
     runs = _engine(engine).run_many(jobs)
     points = []
     for ns in hops_ns:
@@ -292,7 +302,7 @@ FIGURE11_ENTRIES = (32, 64, 128, 256, 512, 1024)
 
 
 def figure11(scale=1.0, seed=12345, app="mg", entries=FIGURE11_ENTRIES,
-             engine=None):
+             engine=None, directory_format=None):
     """Speedup and normalised messages vs delegate-cache entries (32K RAC),
     plus the 1K-entry + 1M-RAC point, mirroring the paper's bar chart."""
     sweep = ([("base", params.baseline())]
@@ -302,7 +312,8 @@ def figure11(scale=1.0, seed=12345, app="mg", entries=FIGURE11_ENTRIES,
              + [((1024, "1M"),
                  params.enhanced(delegate_entries=1024, rac_bytes=1 * _MB))])
     runs = _engine(engine).run_many(
-        {key: _job(app, config, seed, scale) for key, config in sweep})
+        {key: _job(app, config, seed, scale, directory_format)
+         for key, config in sweep})
     base = runs["base"].metrics
     points = []
     for count in entries:
@@ -330,7 +341,7 @@ FIGURE12_RAC_KB = (32, 64, 128, 256, 512, 1024)
 
 
 def figure12(scale=1.0, seed=12345, app="appbt", rac_kb=FIGURE12_RAC_KB,
-             engine=None):
+             engine=None, directory_format=None):
     """Speedup and normalised messages vs RAC size (32-entry delegate
     tables), plus the 1K-entry + 1M-RAC point."""
     sweep = ([("base", params.baseline())]
@@ -340,7 +351,8 @@ def figure12(scale=1.0, seed=12345, app="appbt", rac_kb=FIGURE12_RAC_KB,
              + [((1024, 1024),
                  params.enhanced(delegate_entries=1024, rac_bytes=1 * _MB))])
     runs = _engine(engine).run_many(
-        {key: _job(app, config, seed, scale) for key, config in sweep})
+        {key: _job(app, config, seed, scale, directory_format)
+         for key, config in sweep})
     base = runs["base"].metrics
     points = []
     for kb in rac_kb:

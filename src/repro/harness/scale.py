@@ -1,0 +1,190 @@
+"""The scaling study: storm traffic on 256-1024-node machines.
+
+The paper evaluates 16 nodes; this harness answers "what breaks first
+when the machine grows" by sweeping node count x directory format x
+protocol over the canonical storm workload
+(:func:`repro.fuzz.scenarios.storm_workload_kwargs` — the same traffic
+the fuzz audit replays, so the report and the oracles measure identical
+runs).  Per cell it reports end-to-end cycles, network traffic, update
+fan-out, NACK/retry pressure and miss-latency p50/p95; the interesting
+curve is how the compressed directory formats (``coarse:G``,
+``limited:K``) trade their constant-area vectors for invalidation and
+speculative-update storms as the machine grows.
+
+Every cell is one :class:`~repro.harness.sweep.SweepJob` submitted
+through a :class:`~repro.harness.sweep.SweepEngine`, so scale sweeps
+parallelise and cache like every other experiment; node count, format
+and protocol all ride in the config and therefore in the cache key.
+"""
+
+from dataclasses import replace
+
+from ..analysis.tables import render_table
+from ..common import stats as S
+from ..directory.formats import DirectoryFormat
+from ..fuzz.runner import build_workload
+from ..fuzz.scenarios import FuzzScenario
+from ..obs import TraceConfig, Tracer
+from ..protocol.arena import resolve_protocol
+from ..sim.system import System
+from .arena import _merged_latency, _percentile
+from .sweep import SweepJob
+
+#: Default sweep axes: small enough that the default invocation finishes
+#: in minutes, while still crossing the coarse/limited break-even points.
+DEFAULT_NODES = (16, 64, 256)
+DEFAULT_FORMATS = ("full", "coarse:8", "coarse:16", "limited:2", "limited:4")
+DEFAULT_PROTOCOLS = ("adaptive",)
+
+
+def scale_runner(job):
+    """Worker-side runner for scale cells (module-level so it pickles by
+    reference).  Rebuilds the canonical storm workload for the job's node
+    count, runs it under the job's exact config — format and protocol
+    included — and returns counters plus traced miss-latency histograms.
+    """
+    scenario = FuzzScenario.storm(job.seed, num_nodes=job.config.num_nodes,
+                                  scale=job.scale)
+    # The job's config is authoritative (it is what the cache key hashed);
+    # the scenario only contributes the workload and the run caps.
+    scenario = replace(scenario, config=job.config)
+    build = build_workload(scenario)
+    tracer = Tracer(TraceConfig(capture_messages=False))
+    system = System(job.config, check_coherence=job.check_coherence,
+                    tracer=tracer, chaos=job.chaos)
+    result = system.run(build.per_cpu_ops, placements=build.placements,
+                        max_cycles=scenario.max_cycles,
+                        max_events=scenario.max_events)
+    return {
+        "cycles": result.cycles,
+        "events": result.events_processed,
+        "stats": dict(result.stats),
+        "obs": result.extras.get("obs"),
+    }
+
+
+class ScaleReport:
+    """Results of one scaling sweep: ``cells[(nodes, fmt, proto)]``."""
+
+    def __init__(self, nodes, formats, protocols, cells, seed, scale):
+        self.nodes = list(nodes)
+        self.formats = list(formats)
+        self.protocols = list(protocols)
+        self.cells = cells
+        self.seed = seed
+        self.scale = scale
+
+    def row(self, num_nodes, fmt, protocol):
+        """The report row for one cell, as a plain dict."""
+        payload = self.cells[(num_nodes, fmt, protocol)]
+        stats = payload["stats"]
+        latency = _merged_latency(payload.get("obs"))
+        updates = stats.get(S.UPDATES_SENT, 0)
+        pushes = stats.get(S.INTERVENTIONS, 0)
+        return {
+            "nodes": num_nodes,
+            "format": fmt,
+            "protocol": protocol,
+            "cycles": payload["cycles"],
+            "events": payload["events"],
+            "traffic_bytes": stats.get(S.MSG_BYTES, 0),
+            "invalidations": stats.get("msg.sent.INV", 0),
+            "updates_sent": updates,
+            "update_fanout": round(updates / pushes, 2) if pushes else 0.0,
+            "nacks": stats.get(S.NACKS, 0),
+            "retries": stats.get(S.RETRIES, 0),
+            "miss_p50": _percentile(latency, 0.50),
+            "miss_p95": _percentile(latency, 0.95),
+            "dir_bits_per_entry":
+                DirectoryFormat.parse(fmt).bits_per_entry(num_nodes),
+        }
+
+    def rows(self):
+        """Every cell's row, node-count-major (the breakdown curves)."""
+        return [self.row(n, fmt, proto)
+                for n in self.nodes
+                for fmt in self.formats
+                for proto in self.protocols]
+
+    def render_text(self):
+        """The scaling breakdown: one table per node count."""
+        headers = ["format", "protocol", "cycles", "traffic B", "INVs",
+                   "updates", "fanout", "NACKs", "retries", "lat p50",
+                   "lat p95", "dir b/entry"]
+        blocks = ["scaling study  (storm workload, seed %d, scale %g)"
+                  % (self.seed, self.scale)]
+        for num_nodes in self.nodes:
+            rows = []
+            for fmt in self.formats:
+                for proto in self.protocols:
+                    rec = self.row(num_nodes, fmt, proto)
+                    rows.append([
+                        rec["format"], rec["protocol"], rec["cycles"],
+                        rec["traffic_bytes"], rec["invalidations"],
+                        rec["updates_sent"], rec["update_fanout"],
+                        rec["nacks"], rec["retries"],
+                        rec["miss_p50"] if rec["miss_p50"] is not None
+                        else "-",
+                        rec["miss_p95"] if rec["miss_p95"] is not None
+                        else "-",
+                        rec["dir_bits_per_entry"]])
+            blocks.append(render_table(headers, rows,
+                                       title="[%d nodes]" % num_nodes))
+        return "\n\n".join(blocks)
+
+    def to_json(self):
+        """JSON-safe document of every cell's report row."""
+        return {
+            "seed": self.seed,
+            "scale": self.scale,
+            "nodes": self.nodes,
+            "formats": self.formats,
+            "protocols": self.protocols,
+            "rows": self.rows(),
+        }
+
+
+def run_scale(nodes=DEFAULT_NODES, formats=DEFAULT_FORMATS,
+              protocols=DEFAULT_PROTOCOLS, seed=0, scale=1.0,
+              check_coherence=True, engine=None):
+    """Sweep ``nodes`` x ``formats`` x ``protocols`` storm runs and
+    return a :class:`ScaleReport`.
+
+    Every cell shares the storm scenario's config recipe — only the axis
+    under study varies — and runs with online coherence checking unless
+    ``check_coherence`` is off (the report doubles as a scaled-up oracle
+    pass).  ``engine`` must have been built with ``runner=scale_runner``
+    (CLI and :func:`scale_engine` do); the default is serial, uncached.
+    """
+    for name in protocols:
+        resolve_protocol(name)  # fail fast on typos, before any sim runs
+    for fmt in formats:
+        DirectoryFormat.parse(fmt)
+    if engine is None:
+        engine = scale_engine()
+    jobs = {}
+    for num_nodes in nodes:
+        for fmt in formats:
+            for proto in protocols:
+                scenario = FuzzScenario.storm(
+                    seed, num_nodes=num_nodes, directory_format=fmt,
+                    protocol=proto, scale=scale)
+                jobs[(num_nodes, fmt, proto)] = SweepJob(
+                    app="storm", config=scenario.config, seed=seed,
+                    scale=scale, check_coherence=check_coherence)
+    cells = engine.run_many(jobs)
+    return ScaleReport(nodes=nodes, formats=formats, protocols=protocols,
+                       cells=cells, seed=seed, scale=scale)
+
+
+def scale_engine(jobs=1, cache=False, **kwargs):
+    """A :class:`SweepEngine` wired for scale payloads (the engine's
+    default decoder is the identity when a custom runner is set)."""
+    from .sweep import SweepEngine
+
+    return SweepEngine(jobs=jobs, cache=cache, runner=scale_runner,
+                       **kwargs)
+
+
+__all__ = ["DEFAULT_FORMATS", "DEFAULT_NODES", "DEFAULT_PROTOCOLS",
+           "ScaleReport", "run_scale", "scale_engine", "scale_runner"]

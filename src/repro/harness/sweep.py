@@ -87,7 +87,15 @@ class SweepError(ReproError):
 
 @dataclass(frozen=True)
 class SweepJob:
-    """One simulation, named by content (what :func:`job_key` hashes)."""
+    """One simulation, named by content (what :func:`job_key` hashes).
+
+    ``directory_format`` and ``protocol_name`` are cross-cutting config
+    knobs: when given, they are folded into ``config`` at construction
+    (before any key is computed), so the content hash — and therefore the
+    cache — can never alias a ``coarse:4`` run with a ``full`` one.  This
+    is the native replacement for the retired ``OverrideEngine`` wrapper,
+    which rewrote configs at submission time instead.
+    """
 
     app: str
     config: object  # SystemConfig
@@ -96,6 +104,18 @@ class SweepJob:
     num_cpus: Optional[int] = None
     check_coherence: bool = True
     chaos: Optional[object] = None  # ChaosConfig (fault injection) or None
+    directory_format: Optional[str] = None  # None = keep config's value
+    protocol_name: Optional[str] = None     # None = keep config's value
+
+    def __post_init__(self):
+        overrides = {}
+        if self.directory_format is not None:
+            overrides["directory_format"] = self.directory_format
+        if self.protocol_name is not None:
+            overrides["protocol_name"] = self.protocol_name
+        if overrides:
+            object.__setattr__(
+                self, "config", replace(self.config, **overrides))
 
     @property
     def key(self):
@@ -681,41 +701,6 @@ class SweepEngine:
         if self.cache is not None:
             self.cache.put(key, job, payload, elapsed)
         self.progress.job_finished(key, job, elapsed, False)
-
-
-class OverrideEngine:
-    """A sweep engine wrapper rewriting every job's config on the way in.
-
-    Experiments build their own :class:`~repro.common.params.SystemConfig`
-    matrices internally, so config knobs that cut *across* experiments —
-    ``directory_format``, ``protocol_name`` — would need threading through
-    every experiment signature.  Instead, wrap the engine::
-
-        engine = OverrideEngine(SweepEngine(jobs=4),
-                                directory_format="coarse:4")
-
-    Every submitted job then runs with the overridden fields; job keys
-    (and therefore cache entries) are computed from the rewritten config,
-    so overridden sweeps never collide with un-overridden ones.
-    Everything else (``last_report``, ``effective_jobs``...) proxies to
-    the wrapped engine.
-    """
-
-    def __init__(self, engine, **config_overrides):
-        self._engine = engine
-        self._overrides = config_overrides
-
-    def run_many(self, jobs):
-        if not isinstance(jobs, dict):
-            jobs = dict(enumerate(jobs))
-        rewritten = {
-            key: replace(job, config=replace(job.config, **self._overrides))
-            for key, job in jobs.items()
-        }
-        return self._engine.run_many(rewritten)
-
-    def __getattr__(self, name):
-        return getattr(self._engine, name)
 
 
 #: The default engine behind experiments called without an explicit one:

@@ -34,35 +34,51 @@ class FatTree:
         self._check(node)
         return node // self._radix
 
-    def router_links(self, a, b):
-        """Number of router-to-router/node links on the a->b path."""
+    def levels_climbed(self, a, b):
+        """Router levels climbed to reach the lowest common ancestor.
+
+        0 for the same node or two nodes under one leaf router; 1 for a
+        canonical cross-leaf traversal; up to ``depth - 1`` between nodes
+        in maximally distant subtrees.
+        """
         self._check(a)
         self._check(b)
-        if a == b:
-            return 0
-        # Climb from each leaf until the ancestor routers coincide.
-        ra, rb = self.leaf_of(a), self.leaf_of(b)
-        links = 2  # node->leaf and leaf->node
+        ra, rb = a // self._radix, b // self._radix
+        levels = 0
         while ra != rb:
             ra //= self._radix
             rb //= self._radix
-            links += 2
-        return links
+            levels += 1
+        return levels
+
+    def router_links(self, a, b):
+        """Number of router-to-router/node links on the a->b path."""
+        if a == b:
+            self._check(a)
+            return 0
+        # node->leaf and leaf->node, plus an up/down pair per level climbed.
+        return 2 + 2 * self.levels_climbed(a, b)
 
     def latency(self, a, b):
         """Node-to-node latency in CPU cycles.
 
         Same node: 0.  Same leaf router: ``hop_latency * intra_leaf_fraction``.
-        Anything crossing leaf routers costs the full ``hop_latency`` — the
-        paper's uniform remote-hop cost — regardless of how many levels are
-        climbed (fat trees keep upper levels fast/wide).
+        A canonical cross-leaf traversal (one router level climbed — the
+        farthest any message travels on the paper's 16-node machine) costs
+        exactly ``hop_latency``; each additional level climbed adds
+        ``hop_latency * level_latency_frac`` (fat trees keep upper levels
+        fast/wide, so the increment is fractional, not a full hop).
         """
         if a == b:
             return 0
         cfg = self.config
-        if self.leaf_of(a) == self.leaf_of(b):
+        levels = self.levels_climbed(a, b)
+        if levels == 0:
             return max(1, round(cfg.hop_latency * cfg.intra_leaf_fraction))
-        return cfg.hop_latency
+        if levels == 1:
+            return cfg.hop_latency
+        return cfg.hop_latency + round(
+            cfg.hop_latency * cfg.level_latency_frac * (levels - 1))
 
     def _check(self, node):
         if not 0 <= node < self.num_nodes:

@@ -150,10 +150,14 @@ class HomeMixin:
                 return
             # Keep the old sharing vector as the most-recent consumer set
             # (the paper's ownerID trick, §2.4.2); the owner field tells the
-            # protocol who actually holds the line.
+            # protocol who actually holds the line.  Preserve the *exact*
+            # set, not the format-expanded ``targets``: storing the lossy
+            # expansion back would compound across write rounds (a limited
+            # vector that once overflowed to broadcast would stay broadcast
+            # forever) — the encoding is re-applied at the next action point.
             entry.state = DirState.EXCL
             entry.owner = requester
-            entry.sharers = targets
+            entry.sharers = entry.sharers - {requester}
             if upgrade:
                 self.send(Message(MsgType.ACK_X, src=self.node,
                                   dst=requester, addr=addr,

@@ -155,15 +155,19 @@ class ProducerMixin:
             self._undelegate(addr, reason="remote_getx")
             return
         # The local producer is writing: a fully local directory operation,
-        # plus one invalidation round trip if consumers hold copies.
-        targets = sorted(pentry.sharers - {self.node})
+        # plus one invalidation round trip if consumers hold copies.  The
+        # delegated entry is stored in the same (possibly lossy) vector
+        # encoding as the home directory, so invalidations act on the
+        # format's observed set; the preserved sharing vector stays exact.
+        targets = sorted(self.dir_format.invalidation_targets(
+            pentry.sharers, self.node, self.config.num_nodes))
         pentry.busy = BusyRecord(BusyKind.INVALIDATING)
         for target in targets:
             self.send(Message(MsgType.INV, src=self.node, dst=target,
                               addr=addr, payload={"collector": self.node}))
         pentry.state = DirState.EXCL
         pentry.owner = self.node
-        pentry.sharers = set(targets)  # the paper's preserved sharing vector
+        pentry.sharers = pentry.sharers - {self.node}  # preserved vector
         if self.hierarchy.state_of(addr) is LineState.SHARED:
             grant = Message(MsgType.ACK_X, src=self.node, dst=self.node,
                             addr=addr,
@@ -291,7 +295,12 @@ class ProducerMixin:
                      and addr in self.producer_table)
         if delegated:
             self.rac.update_value(addr, value, dirty=True)
-        consumers = sorted(entry.sharers - {self.node})
+        # The hardware reads the consumer set out of its (possibly lossy)
+        # vector encoding, so compressed formats widen the push — the extra
+        # updates are the format's cost, and their recipients really do end
+        # up holding RAC copies (hence they join the sharer set below).
+        consumers = sorted(self.dir_format.observed_sharers(
+            entry.sharers, self.config.num_nodes) - {self.node})
         # Selective-update pruning: consumers whose last two pushes went
         # unread stop receiving updates (they are still invalidated as
         # sharers; a fresh read re-enrols them).

@@ -139,12 +139,16 @@ class IterativePCWorkload:
         ops = [[] for _ in range(self.num_cpus)]
         placements = []
         shared_lines = {}
+        # Collision-free region bases: identical to the module constants up
+        # to 63 CPUs, spread out beyond (regions.layout).
+        shared_base, hot_base, false_share_base, private_base = \
+            regions.layout(self.num_cpus)
 
         # Shared producer-consumer lines.
         lines = []  # (addr, producer, consumers tuple)
         for producer in range(self.num_cpus):
             for index in range(spec.lines_per_producer):
-                addr = self._line_addr(regions.SHARED + producer, index)
+                addr = self._line_addr(shared_base + producer, index)
                 if rng.random() < spec.home_random_prob:
                     home = rng.randrange(self.num_cpus)
                 else:
@@ -161,7 +165,7 @@ class IterativePCWorkload:
         # what creates the BUSY-home NACK storm the paper describes.
         hot = []
         for index in range(spec.hot_lines):
-            addr = self._line_addr(regions.HOT, index)
+            addr = self._line_addr(hot_base, index)
             producer = index % self.num_cpus
             placements.append((addr, 128, (producer + 1) % self.num_cpus))
             hot.append((addr, producer))
@@ -170,7 +174,7 @@ class IterativePCWorkload:
         # False-sharing lines: two CPUs alternate writes (never stable PC).
         false_shared = []
         for index in range(spec.false_share_pairs):
-            addr = self._line_addr(regions.FALSE_SHARE, index)
+            addr = self._line_addr(false_share_base, index)
             writer_a = (2 * index) % self.num_cpus
             writer_b = (2 * index + 1) % self.num_cpus
             placements.append((addr, 128, writer_a))
@@ -180,7 +184,7 @@ class IterativePCWorkload:
         # Private per-CPU working sets.
         private = {}
         for cpu in range(self.num_cpus):
-            addrs = [self._line_addr(regions.PRIVATE + cpu, index)
+            addrs = [self._line_addr(private_base + cpu, index)
                      for index in range(spec.private_lines)]
             for addr in addrs:
                 placements.append((addr, 128, cpu))

@@ -15,6 +15,24 @@ FALSE_SHARE = 65  # alternating-writer lines (CG false sharing)
 PRIVATE = 128     # per-CPU private working sets
 
 
+def layout(num_cpus):
+    """Collision-free ``(shared, hot, false_share, private)`` bases.
+
+    The historical constants assume small machines: with 64+ CPUs,
+    ``SHARED + cpu`` runs into HOT (64), FALSE_SHARE (65) and eventually
+    PRIVATE (128) — real address aliasing between logically distinct
+    regions.  Machines small enough for the constants keep them (so every
+    existing <=16-CPU trace is byte-identical); larger ones spread the
+    bases past the per-CPU ranges.
+    """
+    if num_cpus <= HOT - SHARED:
+        return SHARED, HOT, FALSE_SHARE, PRIVATE
+    hot = SHARED + num_cpus
+    false_share = hot + 1
+    private = false_share + 1
+    return SHARED, hot, false_share, private
+
+
 def region_base(region):
     """Base byte address of a region window.
 

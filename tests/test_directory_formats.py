@@ -38,6 +38,32 @@ class TestParsing:
         with pytest.raises(ConfigError):
             DirectoryFormat("limited", 0)
 
+    @pytest.mark.parametrize("spec", [
+        "coarse:x",        # non-integer parameter (was a bare ValueError)
+        "limited:2.5",     # float parameter
+        "coarse:",         # empty parameter
+        "limited",         # missing parameter
+        "full:4",          # full takes no parameter
+        "coarse:-2",       # negative parameter
+        "",                # empty spec
+        ":4",              # missing kind
+    ])
+    def test_malformed_specs_raise_config_error(self, spec):
+        """Every malformed spec is a ConfigError naming the spec — never a
+        bare ValueError out of int()."""
+        with pytest.raises(ConfigError):
+            DirectoryFormat.parse(spec)
+
+    def test_non_string_rejected(self):
+        with pytest.raises(ConfigError):
+            DirectoryFormat.parse(4)
+        with pytest.raises(ConfigError):
+            DirectoryFormat.parse(None)
+
+    def test_error_message_names_the_spec(self):
+        with pytest.raises(ConfigError, match="coarse:x"):
+            DirectoryFormat.parse("coarse:x")
+
 
 class TestSemantics:
     def test_full_is_exact(self):
@@ -128,3 +154,70 @@ class TestProtocolIntegration:
             cfg = replace(small(num_nodes=4), directory_format=spec)
             result = self.run_pc(cfg)
             assert result.cycles > 0
+
+    def test_preserved_consumer_set_stays_exact(self):
+        """Regression: the ownerID-trick consumer set keeps the *exact*
+        sharers, not the format-expanded invalidation targets.
+
+        With limited:1 three readers overflow the vector to broadcast; the
+        buggy code stored that broadcast set back into ``entry.sharers``,
+        so it stayed broadcast forever (and every later update/INV round
+        fanned out to the whole machine)."""
+        from dataclasses import replace
+        cfg = replace(baseline(num_nodes=8), directory_format="limited:1")
+        ops = [[] for _ in range(8)]
+        for reader in (1, 2, 3):
+            ops[reader].append(Read(LINE))
+        for s in ops:
+            s.append(Barrier(0))
+        ops[4].append(Write(LINE))
+        for s in ops:
+            s.append(Barrier(1))
+        system = System(cfg)
+        system.address_map.place_range(LINE, 128, 0)
+        system.run(ops)
+        entry = system.hubs[0].home_memory.entry(LINE)
+        # Exact previous readers, not broadcast (everyone minus writer).
+        assert entry.sharers == {1, 2, 3}
+
+    def test_no_compounding_across_write_rounds(self):
+        """A second write round acts on the fresh reader set only: the
+        over-approximation from round one must not leak into round two."""
+        from dataclasses import replace
+        cfg = replace(baseline(num_nodes=8), directory_format="limited:2")
+        ops = [[] for _ in range(8)]
+        for reader in (1, 2, 3):
+            ops[reader].append(Read(LINE))
+        for s in ops:
+            s.append(Barrier(0))
+        ops[4].append(Write(LINE))
+        for s in ops:
+            s.append(Barrier(1))
+        ops[5].append(Read(LINE))  # {4, 5} fits the two pointers exactly
+        for s in ops:
+            s.append(Barrier(2))
+        ops[6].append(Write(LINE))
+        for s in ops:
+            s.append(Barrier(3))
+        system = System(cfg)
+        system.address_map.place_range(LINE, 128, 0)
+        res = system.run(ops)
+        entry = system.hubs[0].home_memory.entry(LINE)
+        # Exact round-two copy holders: the downgraded round-one writer
+        # plus the fresh reader — NOT the broadcast set from round one.
+        assert entry.sharers == {4, 5}
+        # Round two's invalidation went to the real copy holders, not to
+        # all eight nodes again (round one already cost <= 7 broadcast
+        # INVs; compounding would have doubled that).
+        assert res.stats.get("msg.sent.INV", 0) <= 7 + 2
+
+    def test_update_push_widens_with_format(self):
+        """Speculative updates act on the observed vector: compressed
+        formats push to more consumers than the exact set."""
+        from dataclasses import replace
+        full = self.run_pc(small(num_nodes=8))
+        coarse = self.run_pc(replace(small(num_nodes=8),
+                                     directory_format="coarse:4"))
+        assert (coarse.stats.get("update.sent", 0)
+                >= full.stats.get("update.sent", 0))
+        assert coarse.cycles > 0

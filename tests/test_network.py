@@ -83,6 +83,78 @@ class TestFatTree:
         assert 0 <= lat <= cfg.hop_latency
 
 
+class TestDeepFatTree:
+    """Large machines climb 2-3 router levels (the scaling study)."""
+
+    def test_depth_at_scale(self):
+        cfg = baseline(num_nodes=4).network  # radix 8 either way
+        assert FatTree(64, cfg).depth == 2
+        assert FatTree(65, cfg).depth == 3
+        assert FatTree(512, cfg).depth == 3
+        assert FatTree(1024, cfg).depth == 4
+
+    def test_levels_climbed(self):
+        # 512 nodes = 64 leaves / 8 L2 routers / 1 root: max climb is 2.
+        tree = FatTree(512, baseline(num_nodes=4).network)
+        assert tree.levels_climbed(0, 0) == 0
+        assert tree.levels_climbed(0, 7) == 0     # same leaf
+        assert tree.levels_climbed(0, 8) == 1     # adjacent leaves
+        assert tree.levels_climbed(0, 64) == 2    # adjacent L2 subtrees
+        assert tree.levels_climbed(0, 511) == 2   # opposite corners
+        # 1024 nodes add a fourth router level: corners climb 3.
+        deep = FatTree(1024, baseline(num_nodes=4).network)
+        assert deep.levels_climbed(0, 1023) == 3
+
+    def test_level_latency_monotone(self):
+        """Each extra level climbed costs strictly more cycles."""
+        cfg = baseline(num_nodes=4).network
+        tree = FatTree(1024, cfg)
+        lat_by_level = [tree.latency(0, n) for n in (1, 8, 64, 1023)]
+        assert [tree.levels_climbed(0, n)
+                for n in (1, 8, 64, 1023)] == [0, 1, 2, 3]
+        for near, far in zip(lat_by_level, lat_by_level[1:]):
+            assert near < far
+
+    def test_extra_levels_cost_fraction_of_a_hop(self):
+        cfg = baseline(num_nodes=4).network
+        tree = FatTree(1024, cfg)
+        one = tree.latency(0, 8)
+        two = tree.latency(0, 64)
+        three = tree.latency(0, 1023)
+        step = round(cfg.hop_latency * cfg.level_latency_frac)
+        assert one == cfg.hop_latency
+        assert two == one + step
+        assert three == one + 2 * step
+
+    def test_router_links_grow_with_levels(self):
+        tree = FatTree(1024, baseline(num_nodes=4).network)
+        assert tree.router_links(0, 7) == 2
+        assert tree.router_links(0, 8) == 4
+        assert tree.router_links(0, 64) == 6
+        assert tree.router_links(0, 1023) == 8
+
+    def test_sixteen_node_latencies_unchanged(self):
+        """The deepened oracle is byte-identical on the paper's machine:
+        at 16 nodes at most one level is climbed, so every latency is
+        still 0, the intra-leaf fraction, or exactly hop_latency."""
+        cfg = baseline().network
+        tree = FatTree(16, cfg)
+        intra = max(1, round(cfg.hop_latency * cfg.intra_leaf_fraction))
+        for a in range(16):
+            for b in range(16):
+                expected = (0 if a == b
+                            else intra if a // 8 == b // 8
+                            else cfg.hop_latency)
+                assert tree.latency(a, b) == expected
+
+    @given(st.integers(0, 511), st.integers(0, 511))
+    @settings(max_examples=60, deadline=None)
+    def test_deep_latency_symmetric(self, a, b):
+        tree = FatTree(512, baseline(num_nodes=4).network)
+        assert tree.latency(a, b) == tree.latency(b, a)
+        assert tree.levels_climbed(a, b) == tree.levels_climbed(b, a)
+
+
 class TestFabric:
     def make(self, num_nodes=4):
         cfg = baseline(num_nodes=num_nodes)

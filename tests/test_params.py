@@ -137,9 +137,30 @@ class TestValidation:
             CacheConfig(size_bytes=4096, assoc=2, replacement="fifo")
 
     def test_too_many_nodes_rejected(self):
-        # The last-writer detector field is 4 bits (paper §2.2).
+        # The node cap is MAX_NODES now, not the paper's 16 (the last-writer
+        # field widens with the machine; see last_writer_bits).
+        from repro.common.params import MAX_NODES
+
         with pytest.raises(ConfigError):
-            SystemConfig(num_nodes=17)
+            SystemConfig(num_nodes=MAX_NODES + 1)
+
+    def test_large_machines_accepted(self):
+        for nodes in (17, 512, 1024):
+            assert SystemConfig(num_nodes=nodes).num_nodes == nodes
+
+    def test_last_writer_bits_derived(self):
+        # Paper §2.2: 4 bits at 16 nodes; wider machines grow the field.
+        assert SystemConfig(num_nodes=16).last_writer_bits == 4
+        assert SystemConfig(num_nodes=4).last_writer_bits == 4
+        assert SystemConfig(num_nodes=17).last_writer_bits == 5
+        assert SystemConfig(num_nodes=512).last_writer_bits == 9
+        assert SystemConfig(num_nodes=1024).last_writer_bits == 10
+
+    def test_bad_directory_format_rejected_at_construction(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(directory_format="coarse:x")
+        with pytest.raises(ConfigError):
+            SystemConfig(directory_format="bogus")
 
     def test_delegate_entries_power_of_two(self):
         with pytest.raises(ConfigError):

@@ -50,6 +50,26 @@ class TestJobKey:
         assert job_key(job(check_coherence=False)) != base
         assert job_key(job(config=small(num_nodes=4))) != base
 
+    def test_directory_format_folds_into_config_and_key(self):
+        """Regression: the format override is part of the content hash,
+        so a coarse:4 run can never replay a full run's cache entry (the
+        aliasing the retired OverrideEngine wrapper risked)."""
+        plain = job()
+        coarse = job(directory_format="coarse:4")
+        assert coarse.config.directory_format == "coarse:4"
+        assert job_key(coarse) != job_key(plain)
+        # The override and a config carrying the same value are the SAME
+        # content — cache entries are shared, not duplicated.
+        from dataclasses import replace
+        direct = job(config=replace(baseline(num_nodes=4),
+                                    directory_format="coarse:4"))
+        assert job_key(coarse) == job_key(direct)
+
+    def test_protocol_name_folds_into_config_and_key(self):
+        wi = job(protocol_name="wi")
+        assert wi.config.protocol_name == "wi"
+        assert job_key(wi) != job_key(job())
+
 
 class TestSerialEngine:
     def test_matches_direct_run_app(self):

@@ -60,7 +60,12 @@ def load_record(path):
     with open(path) as fileobj:
         doc = json.load(fileobj)
     bench = doc["benchmarks"][0]
-    return bench["stats"], bench["params"], doc.get("sweep", {})
+    # Job accounting lives in the "sweep" block for `repro sweep` records
+    # and in the benchmark entry's extra_info for `repro scale` ones.
+    accounting = doc.get("sweep") or {
+        "total": bench.get("extra_info", {}).get("total_jobs")}
+    return bench["stats"], bench["params"], accounting, \
+        bench.get("group", "sweep")
 
 
 def print_trajectory(records, fresh=None):
@@ -69,7 +74,7 @@ def print_trajectory(records, fresh=None):
     rows = []
     prev_mean = None
     for path in records:
-        stats, params, _sweep = load_record(path)
+        stats, params, _accounting, _group = load_record(path)
         mean = stats["mean"]
         delta = ("%+.0f%%" % (100.0 * (mean / prev_mean - 1.0))
                  if prev_mean else "-")
@@ -91,15 +96,31 @@ def print_trajectory(records, fresh=None):
                  scale if scale is not None else "-", delta))
 
 
-def rerun(params, out_path):
-    command = [
-        sys.executable, "-m", "repro", "sweep", "headline",
-        "--scale", str(params["scale"]),
-        "--jobs", str(params["jobs"]),
-        "--seed", str(params["seed"]),
-        "--no-cache",
-        "--json", out_path,
-    ]
+def rerun(params, out_path, group="sweep"):
+    """Re-run the sweep a record came from; the record's ``group`` picks
+    the command (``sweep`` -> the headline sweep, ``scale`` -> the
+    scaling study) and its params are the exact CLI arguments."""
+    if group == "scale":
+        command = [
+            sys.executable, "-m", "repro", "scale",
+            "--nodes", str(params["nodes"]),
+            "--formats", str(params["formats"]),
+            "--protocols", str(params["protocols"]),
+            "--scale", str(params["scale"]),
+            "--seed", str(params["seed"]),
+            "--jobs", str(params["jobs"]),
+            "--no-cache",
+            "--json", out_path,
+        ]
+    else:
+        command = [
+            sys.executable, "-m", "repro", "sweep", "headline",
+            "--scale", str(params["scale"]),
+            "--jobs", str(params["jobs"]),
+            "--seed", str(params["seed"]),
+            "--no-cache",
+            "--json", out_path,
+        ]
     print("+ " + " ".join(command), flush=True)
     subprocess.run(command, check=True)
 
@@ -128,7 +149,7 @@ def main(argv=None):
         print("bench gate: no committed BENCH_*.json records found")
         return 1
 
-    committed_stats, params, committed_sweep = load_record(target)
+    committed_stats, params, committed_sweep, group = load_record(target)
     committed_mean = committed_stats["mean"]
 
     fresh_means = []
@@ -136,8 +157,8 @@ def main(argv=None):
     with tempfile.TemporaryDirectory() as tmp:
         for attempt in range(max(1, args.reruns)):
             fresh_path = os.path.join(tmp, "fresh_%d.json" % attempt)
-            rerun(params, fresh_path)
-            stats, _params, fresh_sweep = load_record(fresh_path)
+            rerun(params, fresh_path, group=group)
+            stats, _params, fresh_sweep, _group = load_record(fresh_path)
             fresh_means.append(stats["mean"])
     fresh_mean = min(fresh_means)
 
